@@ -1,0 +1,72 @@
+// Ablation: contamination-free routing vs wash operations (the prior-work
+// alternative, paper reference [9]).
+//
+// For each conflict-bearing application this compares the total execution
+// steps of (a) this work's contamination-free switch — flow sets only,
+// zero washes — against (b) the spine baseline with one-inlet-per-step
+// scheduling plus the full-flush washes required to stay uncontaminated.
+// The spine also shows 'unwashable' counts in its parallel schedule, where
+// no wash can separate simultaneous conflicting fluids.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cases/cases.hpp"
+#include "sim/spine_baseline.hpp"
+#include "sim/wash.hpp"
+
+int main() {
+  using namespace mlsi;
+  using synth::BindingPolicy;
+
+  std::printf("Ablation — contamination-free routing vs wash operations\n\n");
+  io::TextTable table({"case", "design", "flow sets", "washes",
+                       "total steps", "unwashable"});
+
+  struct Entry {
+    synth::ProblemSpec (*make)(BindingPolicy);
+  };
+  const Entry entries[] = {
+      {cases::chip_sw1}, {cases::nucleic_acid}, {cases::mrna_isolation}};
+  bool crossbar_zero = true;
+  bool spine_needs_washes = false;
+  for (const Entry& entry : entries) {
+    const synth::ProblemSpec spec = entry.make(BindingPolicy::kUnfixed);
+    // (a) this work.
+    const auto outcome = bench::run_case(spec, 120.0);
+    if (outcome.result.ok()) {
+      synth::Synthesizer syn(spec);  // rebuild topology for the program
+      const auto program =
+          sim::make_program(syn.topology(), spec, *outcome.result);
+      const sim::WashPlan plan = sim::plan_washes(program);
+      table.add_row({spec.name, "crossbar (this work)",
+                     cat(outcome.result->num_sets), cat(plan.num_washes()),
+                     cat(plan.total_steps), cat(plan.unwashable)});
+      crossbar_zero = crossbar_zero && plan.num_washes() == 0 &&
+                      plan.unwashable == 0;
+    }
+    // (b) spine with sequential schedule + washes.
+    const auto sequential =
+        sim::route_on_spine(spec, sim::SpineSchedule::kSequential);
+    const sim::WashPlan seq_plan = sim::plan_washes(sequential.program);
+    table.add_row({spec.name, "spine + washes (prior work)",
+                   cat(sequential.program.num_sets),
+                   cat(seq_plan.num_washes()), cat(seq_plan.total_steps),
+                   cat(seq_plan.unwashable)});
+    spine_needs_washes = spine_needs_washes || seq_plan.num_washes() > 0;
+    // (c) spine parallel: washing cannot help simultaneous conflicts.
+    const auto parallel =
+        sim::route_on_spine(spec, sim::SpineSchedule::kParallel);
+    const sim::WashPlan par_plan = sim::plan_washes(parallel.program);
+    table.add_row({spec.name, "spine, parallel (broken)",
+                   cat(parallel.program.num_sets), cat(par_plan.num_washes()),
+                   cat(par_plan.total_steps), cat(par_plan.unwashable)});
+    table.add_rule();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: crossbar needs zero washes: %s\n",
+              crossbar_zero ? "yes" : "NO");
+  std::printf("shape check: spine needs washes (extra steps + buffer): %s\n",
+              spine_needs_washes ? "yes" : "NO");
+  return crossbar_zero && spine_needs_washes ? 0 : 1;
+}

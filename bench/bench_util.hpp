@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// \brief Shared plumbing for the table/figure reproduction binaries.
+///
+/// Every bench prints a paper-shaped table to stdout and drops SVG/JSON
+/// artifacts into ./bench_out/ (created on demand). Synthesis runs are
+/// budgeted so the whole `for b in build/bench/*; do $b; done` sweep stays
+/// laptop-friendly; rows that hit the budget are marked with '*' (the
+/// thesis itself reports multi-hour Gurobi runs for the same shapes).
+
+#include <filesystem>
+#include <string>
+
+#include "io/case_io.hpp"
+#include "io/report.hpp"
+#include "io/svg.hpp"
+#include "sim/simulator.hpp"
+#include "support/strings.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::bench {
+
+/// Directory for bench artifacts; created on first use.
+inline std::string out_dir() {
+  static const std::string dir = [] {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    return std::string{"bench_out"};
+  }();
+  return dir;
+}
+
+/// One synthesized-and-validated case.
+struct RunOutcome {
+  synth::ProblemSpec spec;
+  Result<synth::SynthesisResult> result = Status::Internal("not run");
+  sim::HardeningOutcome hardening;  ///< valid when result.ok()
+  std::string switch_name;
+};
+
+/// Synthesizes \p spec with the given wall budget, hardens (validating
+/// against the flow simulator), and optionally writes an SVG.
+inline RunOutcome run_case(const synth::ProblemSpec& spec,
+                           double time_limit_s,
+                           const std::string& svg_name = {},
+                           synth::SynthesisOptions options = {}) {
+  RunOutcome out;
+  out.spec = spec;
+  options.engine_params.time_limit_s = time_limit_s;
+  synth::Synthesizer synthesizer(spec, options);
+  out.switch_name = synthesizer.topology().name();
+  out.result = synthesizer.synthesize();
+  if (out.result.ok()) {
+    out.hardening = sim::harden(synthesizer.topology(), spec, *out.result);
+    if (!svg_name.empty()) {
+      io::SvgOptions svg_options;
+      (void)io::write_svg(out_dir() + "/" + svg_name,
+                          io::render_result(synthesizer.topology(), spec,
+                                            *out.result, svg_options));
+      (void)json::write_file(out_dir() + "/" + svg_name + ".json",
+                             io::result_to_json(synthesizer.topology(), spec,
+                                                *out.result));
+    }
+  }
+  return out;
+}
+
+/// "13.6" / "no solution" / "0.273*" (asterisk: budget hit, best found).
+inline std::string fmt_runtime(const synth::SynthesisResult& r) {
+  return fmt_double(r.stats.runtime_s, 3) +
+         (r.stats.proven_optimal ? "" : "*");
+}
+
+inline std::string switch_size_label(int pins_per_side) {
+  return cat(4 * pins_per_side, "-pin");
+}
+
+/// Adapts a simulated SwitchProgram (e.g. the spine baseline) into a
+/// SynthesisResult so the SVG renderer and JSON writer can consume it.
+inline synth::SynthesisResult program_to_result(const sim::SwitchProgram& p) {
+  synth::SynthesisResult r;
+  r.routed = p.routed;
+  r.binding = p.binding;
+  r.num_sets = p.num_sets;
+  r.used_segments = p.used_segments;
+  r.flow_length_mm = synth::segments_length_mm(*p.topo, p.used_segments);
+  r.essential_valves = p.valves.valve_segments;
+  r.valve_states = p.valves.states;
+  r.pressure_group.assign(r.essential_valves.size(), -1);
+  r.num_pressure_groups = static_cast<int>(r.essential_valves.size());
+  r.stats.engine = "baseline";
+  return r;
+}
+
+}  // namespace mlsi::bench

@@ -1,0 +1,89 @@
+// Extension bench: control-layer routing (the thesis's declared future
+// work — "control channel routing should be considered for pressure
+// sharing"). For every feasible built-in case this routes one control net
+// per pressure group to a 1 mm boundary inlet, DRC-checks the plan, and
+// quantifies what pressure sharing buys on the control layer:
+// fewer inlets AND less control channel.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cases/cases.hpp"
+#include "control/router.hpp"
+
+int main() {
+  using namespace mlsi;
+  using synth::BindingPolicy;
+
+  std::printf("Extension — control-layer routing with/without pressure "
+              "sharing\n\n");
+  io::TextTable table({"case", "binding", "#valves", "nets off", "ctrl mm off",
+                       "nets shared", "ctrl mm shared", "crossings", "DRC"});
+
+  struct Entry {
+    synth::ProblemSpec (*make)(BindingPolicy);
+    BindingPolicy policy;
+  };
+  const Entry entries[] = {
+      {cases::chip_sw1, BindingPolicy::kFixed},
+      {cases::chip_sw1, BindingPolicy::kClockwise},
+      {cases::chip_sw2, BindingPolicy::kFixed},
+      {cases::chip_sw2, BindingPolicy::kClockwise},
+      {cases::kinase_sw1, BindingPolicy::kFixed},
+      {cases::kinase_sw2, BindingPolicy::kFixed},
+  };
+  bool all_clean = true;
+  bool sharing_never_worse = true;
+  for (const Entry& entry : entries) {
+    const synth::ProblemSpec spec = entry.make(entry.policy);
+    // One synthesis, two pressure modes applied on top.
+    synth::SynthesisOptions opts_off;
+    opts_off.pressure = synth::PressureMode::kOff;
+    opts_off.engine_params.time_limit_s = 60.0;
+    synth::Synthesizer syn(spec, opts_off);
+    auto off = syn.synthesize();
+    if (!off.ok()) continue;
+    synth::SynthesisResult shared = *off;
+    {
+      const auto compat = synth::valve_compatibility(shared.valve_states);
+      const auto groups = synth::pressure_groups_ilp(compat);
+      shared.pressure_group = groups.group;
+      shared.num_pressure_groups = groups.num_groups;
+    }
+    const auto plan_off = control::route_control(syn.topology(), *off);
+    const auto plan_shared = control::route_control(syn.topology(), shared);
+    if (!plan_off.ok() || !plan_shared.ok()) {
+      table.add_row({spec.name, std::string{to_string(entry.policy)},
+                     cat(off->num_valves()),
+                     plan_off.ok() ? "ok" : plan_off.status().to_string()});
+      all_clean = false;
+      continue;
+    }
+    const bool drc = plan_off->check(syn.topology()).ok() &&
+                     plan_shared->check(syn.topology()).ok();
+    all_clean = all_clean && drc;
+    if (plan_shared->nets.size() > plan_off->nets.size() ||
+        plan_shared->total_length_mm > plan_off->total_length_mm + 1e-9) {
+      sharing_never_worse = false;
+    }
+    table.add_row({spec.name, std::string{to_string(entry.policy)},
+                   cat(off->num_valves()), cat(plan_off->nets.size()),
+                   fmt_double(plan_off->total_length_mm, 1),
+                   cat(plan_shared->nets.size()),
+                   fmt_double(plan_shared->total_length_mm, 1),
+                   cat(plan_shared->total_crossings),
+                   drc ? "clean" : "VIOLATION"});
+    (void)io::write_svg(
+        bench::out_dir() + "/control_" + std::string{to_string(entry.policy)} +
+            "_" + cat(&entry - entries) + ".svg",
+        control::render_control_svg(syn.topology(), shared, *plan_shared));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: all plans DRC-clean: %s\n",
+              all_clean ? "yes" : "NO");
+  std::printf("shape check: sharing never costs inlets or channel: %s\n",
+              sharing_never_worse ? "yes" : "NO");
+  std::printf("control overlays written to %s/control_*.svg\n",
+              bench::out_dir().c_str());
+  return all_clean ? 0 : 1;
+}

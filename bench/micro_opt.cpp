@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks for the optimization substrate and the
+// synthesis hot paths: LP solves, MILP branch & bound, path enumeration,
+// and end-to-end CP synthesis. These guard against performance regressions
+// in the pieces every table/figure bench leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/crossbar.hpp"
+#include "arch/paths.hpp"
+#include "cases/cases.hpp"
+#include "opt/milp.hpp"
+#include "opt/simplex.hpp"
+#include "support/rng.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace mlsi;
+
+opt::LpProblem random_lp(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  opt::LpProblem lp;
+  lp.num_vars = n;
+  lp.lb.assign(n, 0.0);
+  lp.ub.assign(n, 1.0);
+  lp.cost.resize(n);
+  for (auto& c : lp.cost) c = rng.next_double() * 2 - 1;
+  for (int r = 0; r < m; ++r) {
+    opt::LpRow row;
+    double center = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.next_bool(0.3)) {
+        const double a = rng.next_double() * 2 - 1;
+        row.terms.emplace_back(j, a);
+        center += 0.5 * a;
+      }
+    }
+    row.lo = -std::numeric_limits<double>::infinity();
+    row.hi = center + rng.next_double();
+    lp.rows.push_back(std::move(row));
+  }
+  return lp;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lp = random_lp(n, n / 2, 42);
+  for (auto _ : state) {
+    const auto res = opt::solve_lp(lp);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(20)->Arg(60)->Arg(150)->Arg(400);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  opt::Model model;
+  opt::LinExpr weight;
+  opt::LinExpr value;
+  for (int i = 0; i < n; ++i) {
+    const opt::Var x = model.add_binary("x");
+    weight.add(x, 1.0 + rng.next_double() * 9);
+    value.add(x, 1.0 + rng.next_double() * 9);
+  }
+  model.add_constraint(weight, opt::Sense::kLe, 2.5 * n);
+  model.set_objective(value, /*minimize=*/false);
+  for (auto _ : state) {
+    const auto sol = opt::solve_milp(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_EnumeratePaths(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const arch::SwitchTopology topo = arch::make_crossbar(k);
+  for (auto _ : state) {
+    const auto paths = arch::enumerate_paths(topo);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_EnumeratePaths)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SynthesizeChipFixed(benchmark::State& state) {
+  const auto spec = cases::chip_sw1(synth::BindingPolicy::kFixed);
+  for (auto _ : state) {
+    const auto result = synth::synthesize(spec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_SynthesizeChipFixed);
+
+void BM_SynthesizeTable42Clockwise(benchmark::State& state) {
+  const auto spec = cases::table42_example();
+  for (auto _ : state) {
+    const auto result = synth::synthesize(spec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_SynthesizeTable42Clockwise)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

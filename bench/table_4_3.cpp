@@ -1,0 +1,82 @@
+// Reproduces Table 4.3: "Result features using different binding policies" —
+// ChIP sw.1/sw.2 and kinase-activity sw.1/sw.2 (no conflict constraints, so
+// every policy has a solution), reporting runtime T and length L per policy.
+//
+// Expected shape (paper): the fixed policy is fastest but yields the largest
+// L; clockwise and unfixed reach the same (shorter) L, with unfixed paying
+// by far the largest runtime; runtime grows with the number of connected
+// modules.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cases/cases.hpp"
+
+int main() {
+  using namespace mlsi;
+  using synth::BindingPolicy;
+
+  std::printf("Table 4.3 — binding-policy comparison "
+              "(paper: Shen, Sec. 4.3)\n\n");
+
+  io::TextTable table({"id", "application", "#m", "sw. size", "binding",
+                       "T(s)", "L(mm)", "#v", "#s"});
+  struct Row {
+    int id;
+    synth::ProblemSpec (*make)(BindingPolicy);
+    double budget_s;
+  };
+  const Row rows[] = {
+      {1, cases::chip_sw1, 60.0},
+      {2, cases::chip_sw2, 90.0},
+      {3, cases::kinase_sw1, 30.0},
+      {4, cases::kinase_sw2, 30.0},
+  };
+  const BindingPolicy policies[] = {BindingPolicy::kClockwise,
+                                    BindingPolicy::kFixed,
+                                    BindingPolicy::kUnfixed};
+  // Shape checks accumulated across rows.
+  bool fixed_always_fastest = true;
+  bool fixed_never_shorter = true;
+
+  for (const Row& row : rows) {
+    double t_fixed = 0.0;
+    double t_unfixed = 0.0;
+    double l_fixed = 0.0;
+    double l_best_free = 1e18;
+    for (const BindingPolicy policy : policies) {
+      const synth::ProblemSpec spec = row.make(policy);
+      const auto outcome = bench::run_case(spec, row.budget_s);
+      if (!outcome.result.ok()) {
+        table.add_row({cat(row.id), spec.name, cat(spec.num_modules()),
+                       bench::switch_size_label(spec.pins_per_side),
+                       std::string{to_string(policy)},
+                       std::string{"no solution"}});
+        continue;
+      }
+      const synth::SynthesisResult& r = *outcome.result;
+      table.add_row({cat(row.id), spec.name, cat(spec.num_modules()),
+                     bench::switch_size_label(spec.pins_per_side),
+                     std::string{to_string(policy)}, bench::fmt_runtime(r),
+                     fmt_double(r.flow_length_mm, 1), cat(r.num_valves()),
+                     cat(r.num_sets)});
+      if (policy == BindingPolicy::kFixed) {
+        t_fixed = r.stats.runtime_s;
+        l_fixed = r.flow_length_mm;
+      } else {
+        l_best_free = std::min(l_best_free, r.flow_length_mm);
+        if (policy == BindingPolicy::kUnfixed) t_unfixed = r.stats.runtime_s;
+      }
+    }
+    table.add_rule();
+    if (t_fixed > t_unfixed) fixed_always_fastest = false;
+    if (l_fixed < l_best_free - 1e-9) fixed_never_shorter = false;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: fixed fastest in every row: %s\n",
+              fixed_always_fastest ? "yes" : "NO");
+  std::printf("shape check: fixed length >= best free-binding length: %s\n",
+              fixed_never_shorter ? "yes" : "NO");
+  std::printf("'*' = wall budget hit, best incumbent reported.\n");
+  return fixed_always_fastest && fixed_never_shorter ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file crossbar.hpp
+/// \brief Builder for the paper's reconfigurable crossbar-like switches.
+///
+/// The k-pins-per-side switch core is the (k+1)x(k+1) grid graph; each side
+/// carries k pins. The clockwise-first pin of a side attaches by a stub to
+/// the corner at the clockwise start of that side (segment "T1-TL"), the
+/// remaining k-1 pins attach to the side's boundary routing nodes (segment
+/// "T-T2"). For k = 2 this yields exactly the paper's 8-pin switch: pins
+/// {T1,T2,R1,R2,B2,B1,L2,L1}, nodes {C,T,R,B,L}, 20 flow segments.
+/// k = 3 and k = 4 are the 12-pin and 16-pin structures.
+///
+/// Geometry follows the Stanford foundry rules quoted in the paper (100 um
+/// channels, 100 um spacing); the default pitch keeps neighbouring channels
+/// 700 um apart, far above minimum.
+
+#include "arch/topology.hpp"
+
+namespace mlsi::arch {
+
+/// Metric parameters of the crossbar drawing.
+struct CrossbarGeometry {
+  double pitch_um = 800.0;   ///< grid spacing between adjacent vertices
+  double stub_um = 500.0;    ///< pin stub length (pin to attachment vertex)
+  double margin_um = 600.0;  ///< whitespace margin around the structure
+};
+
+/// Builds the k-pins-per-side crossbar switch (k >= 2). The paper's sizes:
+/// k = 2 -> 8-pin, k = 3 -> 12-pin, k = 4 -> 16-pin.
+SwitchTopology make_crossbar(int pins_per_side,
+                             const CrossbarGeometry& geom = {});
+
+/// Paper-named conveniences.
+inline SwitchTopology make_8pin(const CrossbarGeometry& g = {}) {
+  return make_crossbar(2, g);
+}
+inline SwitchTopology make_12pin(const CrossbarGeometry& g = {}) {
+  return make_crossbar(3, g);
+}
+inline SwitchTopology make_16pin(const CrossbarGeometry& g = {}) {
+  return make_crossbar(4, g);
+}
+
+/// Builds the switch size that fits \p module_count connected modules:
+/// the smallest of 8/12/16-pin with at least that many pins.
+/// Returns kInvalidArgument above 16 modules (the paper's largest switch).
+Result<SwitchTopology> make_for_module_count(int module_count,
+                                             const CrossbarGeometry& g = {});
+
+}  // namespace mlsi::arch

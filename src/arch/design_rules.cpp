@@ -1,0 +1,94 @@
+#include "arch/design_rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlsi::arch {
+namespace {
+
+/// Minimum distance between segments (p1,p2) and (q1,q2) in the plane.
+double segment_distance(Point p1, Point p2, Point q1, Point q2) {
+  const auto dot = [](Point a, Point b) { return a.x * b.x + a.y * b.y; };
+  const auto sub = [](Point a, Point b) { return Point{a.x - b.x, a.y - b.y}; };
+  const auto cross = [](Point a, Point b) { return a.x * b.y - a.y * b.x; };
+
+  const Point d1 = sub(p2, p1);
+  const Point d2 = sub(q2, q1);
+  const Point r = sub(p1, q1);
+
+  // Check for proper intersection first.
+  const double denom = cross(d1, d2);
+  if (std::fabs(denom) > 1e-12) {
+    const double t = cross(sub(q1, p1), d2) / denom;
+    const double u = cross(sub(q1, p1), d1) / denom;
+    if (t >= 0 && t <= 1 && u >= 0 && u <= 1) return 0.0;
+  }
+
+  // Otherwise the minimum is attained endpoint-to-segment.
+  const auto point_seg = [&](Point p, Point a, Point b) {
+    const Point ab = sub(b, a);
+    const double len2 = dot(ab, ab);
+    double t = len2 > 0 ? dot(sub(p, a), ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Point proj{a.x + t * ab.x, a.y + t * ab.y};
+    return distance(p, proj);
+  };
+  (void)r;
+  return std::min({point_seg(p1, q1, q2), point_seg(p2, q1, q2),
+                   point_seg(q1, p1, p2), point_seg(q2, p1, p2)});
+}
+
+}  // namespace
+
+std::vector<SpacingViolation> check_channel_spacing(const SwitchTopology& topo,
+                                                    const DesignRules& rules) {
+  std::vector<SpacingViolation> out;
+  const int n = topo.num_segments();
+  for (int i = 0; i < n; ++i) {
+    const Segment& a = topo.segment(i);
+    for (int j = i + 1; j < n; ++j) {
+      const Segment& b = topo.segment(j);
+      if (a.touches(b.a) || a.touches(b.b)) continue;  // adjacent: may touch
+      const double center = segment_distance(
+          topo.vertex(a.a).pos, topo.vertex(a.b).pos, topo.vertex(b.a).pos,
+          topo.vertex(b.b).pos);
+      const double clearance = center - rules.flow_channel_width_um;
+      if (clearance < rules.min_channel_spacing_um) {
+        out.push_back(SpacingViolation{i, j, clearance});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AngleViolation> check_junction_angles(const SwitchTopology& topo,
+                                                  double min_angle_deg) {
+  std::vector<AngleViolation> out;
+  for (const Vertex& v : topo.vertices()) {
+    if (v.kind == VertexKind::kPin) continue;  // channel ends, no joint
+    const auto& inc = topo.incident(v.id);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      for (std::size_t j = i + 1; j < inc.size(); ++j) {
+        const Segment& sa = topo.segment(inc[i]);
+        const Segment& sb = topo.segment(inc[j]);
+        const Point pa = topo.vertex(sa.other(v.id)).pos;
+        const Point pb = topo.vertex(sb.other(v.id)).pos;
+        const double ax = pa.x - v.pos.x;
+        const double ay = pa.y - v.pos.y;
+        const double bx = pb.x - v.pos.x;
+        const double by = pb.y - v.pos.y;
+        const double denom = std::hypot(ax, ay) * std::hypot(bx, by);
+        if (denom <= 0) continue;
+        const double cosang =
+            std::clamp((ax * bx + ay * by) / denom, -1.0, 1.0);
+        const double angle = std::acos(cosang) * 180.0 / 3.14159265358979;
+        if (angle < min_angle_deg - 1e-9) {
+          out.push_back(AngleViolation{v.id, inc[i], inc[j], angle});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mlsi::arch

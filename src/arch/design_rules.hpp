@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file design_rules.hpp
+/// \brief Stanford foundry basic design rules (as quoted by the paper) and a
+/// geometric spacing checker for generated switch layouts.
+
+#include "arch/topology.hpp"
+
+namespace mlsi::arch {
+
+/// Rule values the paper cites from the Stanford foundry "Basic Design
+/// Rules": flow-channel width and valve length 100 um, valve (control)
+/// channel width 300 um, minimum channel spacing 100 um, control inlets
+/// 1 mm x 1 mm.
+struct DesignRules {
+  double flow_channel_width_um = 100.0;
+  double valve_length_um = 100.0;
+  double valve_channel_width_um = 300.0;
+  double min_channel_spacing_um = 100.0;
+  double control_inlet_side_um = 1000.0;
+};
+
+/// Result of a spacing check.
+struct SpacingViolation {
+  int segment_a = -1;
+  int segment_b = -1;
+  double clearance_um = 0.0;  ///< measured edge-to-edge clearance
+};
+
+/// Checks that every pair of non-adjacent flow segments keeps at least
+/// rules.min_channel_spacing_um of edge-to-edge clearance (centerline
+/// distance minus channel width). Adjacent segments (sharing a vertex)
+/// legitimately touch and are skipped.
+std::vector<SpacingViolation> check_channel_spacing(
+    const SwitchTopology& topo, const DesignRules& rules = {});
+
+/// A channel joint sharper than the tolerated angle. The paper's critique
+/// of the GRU predecessor: "the angle between the flow segments N-W and
+/// W-C is about 45 degrees. Such closed channels could increase the
+/// possibility of reagent residual at the turning nodes."
+struct AngleViolation {
+  int vertex = -1;
+  int segment_a = -1;
+  int segment_b = -1;
+  double angle_deg = 0.0;
+};
+
+/// Flags every pair of segments meeting at a non-pin vertex with an angle
+/// below \p min_angle_deg (default: anything sharper than a right angle is
+/// suspect; the crossbar uses 90-degree joints exclusively).
+std::vector<AngleViolation> check_junction_angles(const SwitchTopology& topo,
+                                                  double min_angle_deg = 60.0);
+
+}  // namespace mlsi::arch

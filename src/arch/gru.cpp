@@ -1,0 +1,138 @@
+#include "arch/gru.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace mlsi::arch {
+
+SwitchTopology make_gru(int num_grus, const GruGeometry& geom) {
+  MLSI_ASSERT(num_grus >= 1, "need at least one GRU");
+
+  std::vector<Vertex> vertices;
+  std::vector<Segment> segments;
+  const auto add_vertex = [&](VertexKind kind, std::string name, Point pos) {
+    Vertex v;
+    v.id = static_cast<int>(vertices.size());
+    v.kind = kind;
+    v.name = std::move(name);
+    v.pos = pos;
+    vertices.push_back(v);
+    return v.id;
+  };
+  const auto add_segment = [&](int va, int vb) {
+    Segment s;
+    s.id = static_cast<int>(segments.size());
+    s.a = va;
+    s.b = vb;
+    s.length_um = distance(vertices[static_cast<std::size_t>(va)].pos,
+                           vertices[static_cast<std::size_t>(vb)].pos);
+    s.name = cat(vertices[static_cast<std::size_t>(va)].name, "-",
+                 vertices[static_cast<std::size_t>(vb)].name);
+    segments.push_back(std::move(s));
+  };
+  // Multi-unit names carry the unit index ("T2"); a single GRU uses the
+  // paper's bare names (TL, T, ..., N, E, S, W, C).
+  const auto unit_name = [&](const char* base, int unit) {
+    return num_grus == 1 ? std::string{base} : cat(base, unit + 1);
+  };
+
+  const double half = geom.unit_um / 2.0;
+  const double diag = geom.stub_um / std::sqrt(2.0);
+
+  // Per unit: C center; N/E/S/W side nodes; E is shared with the next
+  // unit's W.
+  std::vector<int> c_node(static_cast<std::size_t>(num_grus));
+  std::vector<int> n_node(static_cast<std::size_t>(num_grus));
+  std::vector<int> e_node(static_cast<std::size_t>(num_grus));
+  std::vector<int> s_node(static_cast<std::size_t>(num_grus));
+  std::vector<int> w_node(static_cast<std::size_t>(num_grus));
+  for (int u = 0; u < num_grus; ++u) {
+    const double cx = geom.margin_um + geom.stub_um + half + u * geom.unit_um;
+    const double cy = geom.margin_um + geom.stub_um + half;
+    c_node[static_cast<std::size_t>(u)] =
+        add_vertex(VertexKind::kNode, unit_name("C", u), {cx, cy});
+    n_node[static_cast<std::size_t>(u)] =
+        add_vertex(VertexKind::kNode, unit_name("N", u), {cx, cy - half});
+    s_node[static_cast<std::size_t>(u)] =
+        add_vertex(VertexKind::kNode, unit_name("S", u), {cx, cy + half});
+    if (u == 0) {
+      w_node[0] = add_vertex(VertexKind::kNode, unit_name("W", 0),
+                             {cx - half, cy});
+    } else {
+      w_node[static_cast<std::size_t>(u)] =
+          e_node[static_cast<std::size_t>(u - 1)];  // shared boundary node
+    }
+    e_node[static_cast<std::size_t>(u)] = add_vertex(
+        VertexKind::kNode,
+        u + 1 < num_grus ? cat("M", u + 1) : unit_name("E", u),
+        {cx + half, cy});
+  }
+
+  // Pins. "Each node is connected to two pins" (Sec. 2.1):
+  // N: {TL, T}, E: {TR, R}, S: {BR, B}, W: {BL, L}. Interior shared nodes
+  // of a multi-GRU chain carry none.
+  std::vector<int> top_pins;     // left to right
+  std::vector<int> bottom_pins;  // left to right
+  std::vector<int> right_pins;   // top to bottom
+  std::vector<int> left_pins;    // top to bottom
+
+  const auto add_pin = [&](std::string name, int attach, double dx, double dy) {
+    const Point at = vertices[static_cast<std::size_t>(attach)].pos;
+    const int pin = add_vertex(VertexKind::kPin, std::move(name),
+                               {at.x + dx, at.y + dy});
+    add_segment(pin, attach);
+    return pin;
+  };
+
+  for (int u = 0; u < num_grus; ++u) {
+    const int n = n_node[static_cast<std::size_t>(u)];
+    const int s = s_node[static_cast<std::size_t>(u)];
+    top_pins.push_back(add_pin(unit_name("TL", u), n, -diag, -diag));
+    top_pins.push_back(add_pin(unit_name("T", u), n, 0.0, -geom.stub_um));
+    bottom_pins.push_back(add_pin(unit_name("B", u), s, 0.0, geom.stub_um));
+    bottom_pins.push_back(add_pin(unit_name("BR", u), s, diag, diag));
+  }
+  {
+    const int e = e_node[static_cast<std::size_t>(num_grus - 1)];
+    right_pins.push_back(add_pin(unit_name("TR", num_grus - 1), e, diag, -diag));
+    right_pins.push_back(add_pin(unit_name("R", num_grus - 1), e,
+                                 geom.stub_um, 0.0));
+    const int w = w_node[0];
+    left_pins.push_back(add_pin(unit_name("L", 0), w, -geom.stub_um, 0.0));
+    left_pins.push_back(add_pin(unit_name("BL", 0), w, -diag, diag));
+  }
+
+  // Inner edges per unit: side-to-center spokes and the four diagonals.
+  for (int u = 0; u < num_grus; ++u) {
+    const int c = c_node[static_cast<std::size_t>(u)];
+    const int n = n_node[static_cast<std::size_t>(u)];
+    const int e = e_node[static_cast<std::size_t>(u)];
+    const int s = s_node[static_cast<std::size_t>(u)];
+    const int w = w_node[static_cast<std::size_t>(u)];
+    add_segment(n, c);
+    add_segment(e, c);
+    add_segment(s, c);
+    add_segment(w, c);
+    add_segment(n, w);
+    add_segment(n, e);
+    add_segment(s, w);
+    add_segment(s, e);
+  }
+
+  // Clockwise pin order: top left-to-right, right side, bottom
+  // right-to-left, left side bottom-to-top.
+  std::vector<int> clockwise = top_pins;
+  clockwise.insert(clockwise.end(), right_pins.begin(), right_pins.end());
+  clockwise.insert(clockwise.end(), bottom_pins.rbegin(), bottom_pins.rend());
+  clockwise.insert(clockwise.end(), left_pins.rbegin(), left_pins.rend());
+
+  SwitchTopology topo(TopologyKind::kGru,
+                      cat(static_cast<int>(clockwise.size()), "-pin GRU"),
+                      std::move(vertices), std::move(segments),
+                      std::move(clockwise));
+  MLSI_ASSERT(topo.validate().ok(), topo.validate().to_string());
+  return topo;
+}
+
+}  // namespace mlsi::arch

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file gru.hpp
+/// \brief The General-Routing-Unit (GRU) switch of the predecessor thesis
+/// (Ma, "Switch Design for Microfluidic Large-Scale Integration"), rebuilt
+/// as a baseline.
+///
+/// Section 2.1 of the paper analyses this design at length: one GRU is an
+/// 8-pin unit with a center node C and four side nodes N/E/S/W; each side
+/// node joins *two* pins (e.g. TL and T both land on N), the side nodes
+/// connect to C, and diagonal segments link neighbouring side nodes
+/// (N-W, N-E, S-W, S-E). Larger switches chain multiple GRUs (a 12-pin
+/// switch is two GRUs sharing a boundary).
+///
+/// The paper lists four defects, two of which are structural and are
+/// reproduced here so benchmarks can quantify them:
+///  * insufficient routing space — two conflicting flows entering at TL and
+///    T have no choice but to share node N;
+///  * flow collisions — parallel flows from L and BL inevitably meet at W.
+/// (The other two defects are geometric: 45-degree channel angles and
+/// sub-100 um control spacing; the geometry here reproduces the tight
+/// angles, which the design-rule checker can flag.)
+
+#include "arch/topology.hpp"
+
+namespace mlsi::arch {
+
+struct GruGeometry {
+  double unit_um = 1600.0;   ///< side length of one GRU square
+  double stub_um = 400.0;    ///< pin stub length
+  double margin_um = 600.0;
+};
+
+/// Builds a chain of \p num_grus GRUs (1 -> 8-pin, 2 -> 12-pin, 3 -> 16-pin:
+/// each additional unit shares one boundary side with its predecessor and
+/// contributes 4 new pins).
+SwitchTopology make_gru(int num_grus, const GruGeometry& geom = {});
+
+}  // namespace mlsi::arch

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file paths.hpp
+/// \brief Pin-to-pin routing path enumeration.
+///
+/// The synthesis model assigns each flow one of a precomputed set of
+/// candidate paths (paper, Section 3.1: "a set of shortest paths that route
+/// between each pair of flow pins"). enumerate_paths() produces, for every
+/// ordered pin pair, all minimum-length simple paths (optionally with extra
+/// length slack), capped per pair for model-size control. Paths never pass
+/// *through* a third pin: a pin is a channel end.
+
+#include <vector>
+
+#include "arch/topology.hpp"
+
+namespace mlsi::arch {
+
+/// One routing path between two pins.
+struct Path {
+  int id = -1;
+  int from_pin = -1;  ///< vertex id
+  int to_pin = -1;    ///< vertex id
+  std::vector<int> vertices;  ///< in order, from_pin first, to_pin last
+  std::vector<int> segments;  ///< in order, vertices.size() - 1 entries
+  double length_um = 0.0;
+
+  /// Sorted copies for O(log) membership tests.
+  std::vector<int> vertex_set;
+  std::vector<int> segment_set;
+
+  [[nodiscard]] bool uses_vertex(int v) const;
+  [[nodiscard]] bool uses_segment(int s) const;
+};
+
+struct PathEnumOptions {
+  /// Extra length allowed above the pair's shortest distance (micrometres).
+  /// 0 keeps exactly the shortest paths, as in the paper.
+  double slack_um = 0.0;
+  /// Maximum number of paths kept per ordered pin pair (shortest first,
+  /// then lexicographic by vertex sequence — deterministic).
+  int max_paths_per_pair = 16;
+};
+
+/// All candidate paths of a topology.
+class PathSet {
+ public:
+  PathSet(const SwitchTopology* topo, std::vector<Path> paths);
+
+  [[nodiscard]] const SwitchTopology& topology() const { return *topo_; }
+  [[nodiscard]] int size() const { return static_cast<int>(paths_.size()); }
+  [[nodiscard]] const Path& path(int id) const;
+  [[nodiscard]] const std::vector<Path>& paths() const { return paths_; }
+
+  /// Path ids for the ordered pair (from_pin, to_pin), shortest first.
+  [[nodiscard]] const std::vector<int>& between(int from_pin, int to_pin) const;
+
+ private:
+  const SwitchTopology* topo_;
+  std::vector<Path> paths_;
+  // Indexed by from_pin_index * num_pins + to_pin_index.
+  std::vector<std::vector<int>> by_pair_;
+  std::vector<int> empty_;
+};
+
+/// Enumerates candidate paths for every ordered pin pair of \p topo.
+PathSet enumerate_paths(const SwitchTopology& topo,
+                        const PathEnumOptions& options = {});
+
+}  // namespace mlsi::arch

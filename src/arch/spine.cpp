@@ -1,0 +1,84 @@
+#include "arch/spine.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace mlsi::arch {
+
+SwitchTopology make_spine(int num_pins, const SpineGeometry& geom) {
+  MLSI_ASSERT(num_pins >= 2, "spine switch needs at least 2 pins");
+  const int top = (num_pins + 1) / 2;
+  const int bottom = num_pins - top;
+  const int junctions = std::max(top, bottom);
+
+  std::vector<Vertex> vertices;
+  std::vector<Segment> segments;
+
+  const double spine_y = geom.margin_um + geom.stub_um;
+  const auto add_vertex = [&](VertexKind kind, std::string name, Point pos) {
+    Vertex v;
+    v.id = static_cast<int>(vertices.size());
+    v.kind = kind;
+    v.name = std::move(name);
+    v.pos = pos;
+    vertices.push_back(v);
+    return v.id;
+  };
+  const auto add_segment = [&](int va, int vb, bool valve) {
+    Segment s;
+    s.id = static_cast<int>(segments.size());
+    s.a = va;
+    s.b = vb;
+    s.length_um = distance(vertices[static_cast<std::size_t>(va)].pos,
+                           vertices[static_cast<std::size_t>(vb)].pos);
+    s.has_valve = valve;
+    s.name = cat(vertices[static_cast<std::size_t>(va)].name, "-",
+                 vertices[static_cast<std::size_t>(vb)].name);
+    segments.push_back(std::move(s));
+  };
+
+  std::vector<int> junction_ids;
+  for (int j = 0; j < junctions; ++j) {
+    junction_ids.push_back(add_vertex(
+        VertexKind::kNode, cat("J", j + 1),
+        Point{geom.margin_um + j * geom.junction_pitch_um, spine_y}));
+  }
+  // The spine itself carries no interior valves — this is the structural
+  // weakness the paper's comparison exploits.
+  for (int j = 0; j + 1 < junctions; ++j) {
+    add_segment(junction_ids[static_cast<std::size_t>(j)],
+                junction_ids[static_cast<std::size_t>(j + 1)], /*valve=*/false);
+  }
+
+  std::vector<int> top_pins;
+  for (int i = 0; i < top; ++i) {
+    const int at = junction_ids[static_cast<std::size_t>(i)];
+    const Point p = vertices[static_cast<std::size_t>(at)].pos;
+    const int pin = add_vertex(VertexKind::kPin, cat("T", i + 1),
+                               Point{p.x, p.y - geom.stub_um});
+    add_segment(at, pin, /*valve=*/true);
+    top_pins.push_back(pin);
+  }
+  std::vector<int> bottom_pins;
+  for (int i = 0; i < bottom; ++i) {
+    const int at = junction_ids[static_cast<std::size_t>(i)];
+    const Point p = vertices[static_cast<std::size_t>(at)].pos;
+    const int pin = add_vertex(VertexKind::kPin, cat("B", i + 1),
+                               Point{p.x, p.y + geom.stub_um});
+    add_segment(at, pin, /*valve=*/true);
+    bottom_pins.push_back(pin);
+  }
+
+  // Clockwise: top pins left-to-right, then bottom pins right-to-left.
+  std::vector<int> clockwise = top_pins;
+  clockwise.insert(clockwise.end(), bottom_pins.rbegin(), bottom_pins.rend());
+
+  SwitchTopology topo(TopologyKind::kSpine, cat(num_pins, "-pin spine"),
+                      std::move(vertices), std::move(segments),
+                      std::move(clockwise));
+  MLSI_ASSERT(topo.validate().ok(), topo.validate().to_string());
+  return topo;
+}
+
+}  // namespace mlsi::arch

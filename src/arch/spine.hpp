@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file spine.hpp
+/// \brief Columba-style spine-with-junctions switch (the paper's baseline).
+///
+/// Columba [Tseng et al., DAC'16] and its successors design the switch as a
+/// horizontal spine channel with junction stubs to the pins, and valves only
+/// at the stub ends ("there are no valves except at the ends along the
+/// spine"). The paper's Figures 4.1(d) and 4.2(c,d) show why that pollutes:
+/// every flow crosses the shared spine segments. We rebuild that structure
+/// as a SwitchTopology so the same simulator can count contamination and
+/// collision events on it.
+
+#include "arch/topology.hpp"
+
+namespace mlsi::arch {
+
+struct SpineGeometry {
+  double junction_pitch_um = 800.0;  ///< spacing between junctions
+  double stub_um = 500.0;            ///< junction-to-pin stub length
+  double margin_um = 600.0;
+};
+
+/// Builds a spine switch with \p num_pins pins (>= 2): ceil(n/2) on top,
+/// the rest on the bottom, each attached by a stub to a spine junction.
+/// Junction vertices are routing nodes; spine interior segments carry no
+/// valves (only the stubs do), matching the Columba drawings.
+SwitchTopology make_spine(int num_pins, const SpineGeometry& geom = {});
+
+}  // namespace mlsi::arch

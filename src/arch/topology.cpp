@@ -1,0 +1,162 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/strings.hpp"
+
+namespace mlsi::arch {
+
+double distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+SwitchTopology::SwitchTopology(TopologyKind kind, std::string name,
+                               std::vector<Vertex> vertices,
+                               std::vector<Segment> segments,
+                               std::vector<int> pins_clockwise)
+    : kind_(kind),
+      name_(std::move(name)),
+      vertices_(std::move(vertices)),
+      segments_(std::move(segments)),
+      pins_clockwise_(std::move(pins_clockwise)) {
+  incident_.resize(vertices_.size());
+  for (const Segment& s : segments_) {
+    MLSI_ASSERT(s.a >= 0 && s.a < num_vertices() && s.b >= 0 &&
+                    s.b < num_vertices() && s.a != s.b,
+                cat("segment ", s.name, " has bad endpoints"));
+    incident_[static_cast<std::size_t>(s.a)].push_back(s.id);
+    incident_[static_cast<std::size_t>(s.b)].push_back(s.id);
+  }
+  for (const Vertex& v : vertices_) {
+    if (v.kind == VertexKind::kNode) nodes_.push_back(v.id);
+  }
+}
+
+const Vertex& SwitchTopology::vertex(int id) const {
+  MLSI_ASSERT(id >= 0 && id < num_vertices(), "vertex id out of range");
+  return vertices_[static_cast<std::size_t>(id)];
+}
+
+const Segment& SwitchTopology::segment(int id) const {
+  MLSI_ASSERT(id >= 0 && id < num_segments(), "segment id out of range");
+  return segments_[static_cast<std::size_t>(id)];
+}
+
+int SwitchTopology::pin_index(int vertex_id) const {
+  const auto it = std::find(pins_clockwise_.begin(), pins_clockwise_.end(),
+                            vertex_id);
+  return it == pins_clockwise_.end()
+             ? -1
+             : static_cast<int>(it - pins_clockwise_.begin());
+}
+
+const std::vector<int>& SwitchTopology::incident(int vertex_id) const {
+  MLSI_ASSERT(vertex_id >= 0 && vertex_id < num_vertices(),
+              "vertex id out of range");
+  return incident_[static_cast<std::size_t>(vertex_id)];
+}
+
+std::optional<int> SwitchTopology::vertex_by_name(std::string_view name) const {
+  for (const Vertex& v : vertices_) {
+    if (v.name == name) return v.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> SwitchTopology::segment_by_name(std::string_view name) const {
+  for (const Segment& s : segments_) {
+    if (s.name == name) return s.id;
+  }
+  // Accept the reversed spelling too ("TL-T1" for "T1-TL").
+  const auto dash = name.find('-');
+  if (dash != std::string_view::npos) {
+    const std::string reversed =
+        cat(name.substr(dash + 1), "-", name.substr(0, dash));
+    for (const Segment& s : segments_) {
+      if (s.name == reversed) return s.id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> SwitchTopology::segment_between(int va, int vb) const {
+  for (const int sid : incident(va)) {
+    if (segment(sid).touches(vb)) return sid;
+  }
+  return std::nullopt;
+}
+
+double SwitchTopology::total_length_mm() const {
+  double um = 0.0;
+  for (const Segment& s : segments_) um += s.length_um;
+  return um / 1000.0;
+}
+
+Status SwitchTopology::validate() const {
+  if (vertices_.empty()) return Status::InvalidArgument("topology has no vertices");
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (vertices_[static_cast<std::size_t>(i)].id != i) {
+      return Status::Internal("vertex ids are not dense");
+    }
+  }
+  for (int i = 0; i < num_segments(); ++i) {
+    const Segment& s = segments_[static_cast<std::size_t>(i)];
+    if (s.id != i) return Status::Internal("segment ids are not dense");
+    const double geo = distance(vertex(s.a).pos, vertex(s.b).pos);
+    if (std::fabs(geo - s.length_um) > 1e-6 * std::max(1.0, geo) + 1e-3) {
+      return Status::Internal(cat("segment ", s.name,
+                                  " length disagrees with geometry: ",
+                                  s.length_um, " vs ", geo));
+    }
+  }
+  // Pins must have degree exactly 1 (a pin is a channel end).
+  for (const int p : pins_clockwise_) {
+    if (vertex(p).kind != VertexKind::kPin) {
+      return Status::Internal(cat("clockwise pin ", p, " is not a pin vertex"));
+    }
+    if (incident(p).size() != 1) {
+      return Status::Internal(cat("pin ", vertex(p).name, " has degree ",
+                                  incident(p).size()));
+    }
+  }
+  // Every pin vertex must appear in the clockwise order exactly once.
+  int pin_count = 0;
+  for (const Vertex& v : vertices_) {
+    if (v.kind == VertexKind::kPin) {
+      ++pin_count;
+      if (pin_index(v.id) < 0) {
+        return Status::Internal(cat("pin ", v.name, " missing from order"));
+      }
+    }
+  }
+  if (pin_count != num_pins()) {
+    return Status::Internal("pin order size disagrees with pin vertex count");
+  }
+  // Connectivity.
+  std::vector<char> seen(static_cast<std::size_t>(num_vertices()), 0);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (const int sid : incident(v)) {
+      const int o = segment(sid).other(v);
+      if (seen[static_cast<std::size_t>(o)] == 0) {
+        seen[static_cast<std::size_t>(o)] = 1;
+        ++reached;
+        frontier.push(o);
+      }
+    }
+  }
+  if (reached != num_vertices()) {
+    return Status::Internal(cat("topology is disconnected: reached ", reached,
+                                " of ", num_vertices(), " vertices"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mlsi::arch

@@ -1,0 +1,108 @@
+#include "cases/artificial.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace mlsi::cases {
+
+using synth::BindingPolicy;
+using synth::FlowSpec;
+using synth::ModulePin;
+using synth::ProblemSpec;
+
+ProblemSpec make_artificial(const ArtificialParams& params) {
+  MLSI_ASSERT(params.num_inlets >= 1 && params.num_outlets >= 1,
+              "artificial case needs inlets and outlets");
+  const int num_modules = params.num_inlets + params.num_outlets;
+  const int num_pins = 4 * params.pins_per_side;
+  MLSI_ASSERT(num_modules <= num_pins, "artificial case does not fit switch");
+
+  Rng rng(params.seed);
+  ProblemSpec spec;
+  spec.name = cat("artificial(k=", params.pins_per_side, ",i=",
+                  params.num_inlets, ",o=", params.num_outlets, ",c=",
+                  params.num_conflict_pairs, ",seed=", params.seed, ")");
+  spec.pins_per_side = params.pins_per_side;
+  spec.policy = params.policy;
+
+  for (int i = 0; i < params.num_inlets; ++i) spec.modules.push_back(cat("in", i + 1));
+  for (int o = 0; o < params.num_outlets; ++o) spec.modules.push_back(cat("out", o + 1));
+
+  // One flow into each outlet, from a random inlet; every inlet feeds at
+  // least one outlet so that no module is dangling.
+  std::vector<int> src_of_outlet(static_cast<std::size_t>(params.num_outlets));
+  for (int o = 0; o < params.num_outlets; ++o) {
+    src_of_outlet[static_cast<std::size_t>(o)] =
+        o < params.num_inlets ? o : rng.next_int(0, params.num_inlets - 1);
+  }
+  rng.shuffle(src_of_outlet);
+  for (int o = 0; o < params.num_outlets; ++o) {
+    spec.flows.push_back(FlowSpec{src_of_outlet[static_cast<std::size_t>(o)],
+                                  params.num_inlets + o});
+  }
+
+  // Conflicts between flows of distinct inlets, deduplicated.
+  std::set<std::pair<int, int>> used_pairs;
+  int attempts = 0;
+  while (static_cast<int>(used_pairs.size()) < params.num_conflict_pairs &&
+         attempts++ < 200) {
+    const int a = rng.next_int(0, spec.num_flows() - 1);
+    const int b = rng.next_int(0, spec.num_flows() - 1);
+    if (a == b) continue;
+    if (spec.flows[static_cast<std::size_t>(a)].src_module ==
+        spec.flows[static_cast<std::size_t>(b)].src_module) {
+      continue;
+    }
+    used_pairs.emplace(std::min(a, b), std::max(a, b));
+  }
+  spec.conflicts.assign(used_pairs.begin(), used_pairs.end());
+
+  if (params.policy == BindingPolicy::kClockwise) {
+    spec.clockwise_order.resize(static_cast<std::size_t>(num_modules));
+    for (int m = 0; m < num_modules; ++m) {
+      spec.clockwise_order[static_cast<std::size_t>(m)] = m;
+    }
+    rng.shuffle(spec.clockwise_order);
+  } else if (params.policy == BindingPolicy::kFixed) {
+    const std::vector<int> pins =
+        rng.sample_without_replacement(num_pins, num_modules);
+    for (int m = 0; m < num_modules; ++m) {
+      spec.fixed_binding.push_back(
+          ModulePin{m, pins[static_cast<std::size_t>(m)]});
+    }
+  }
+
+  const Status valid = spec.validate();
+  MLSI_ASSERT(valid.ok(), cat("generator produced an invalid spec: ",
+                              valid.to_string()));
+  return spec;
+}
+
+std::vector<ProblemSpec> artificial_suite_90() {
+  std::vector<ProblemSpec> suite;
+  const BindingPolicy policies[] = {BindingPolicy::kFixed,
+                                    BindingPolicy::kClockwise,
+                                    BindingPolicy::kUnfixed};
+  for (const int k : {2, 3}) {
+    for (const BindingPolicy policy : policies) {
+      for (int v = 0; v < 15; ++v) {
+        ArtificialParams p;
+        p.pins_per_side = k;
+        p.policy = policy;
+        p.num_inlets = 1 + v % 3;                // 1..3
+        p.num_outlets = 3 + v / 8 + v % 2;       // 3..5 (fits the 8-pin)
+        p.num_conflict_pairs = (v / 3) % 4;      // 0..3
+        p.seed = 1000ull * static_cast<std::uint64_t>(k) + 100ull * (v + 1) +
+                 static_cast<std::uint64_t>(policy);
+        suite.push_back(make_artificial(p));
+      }
+    }
+  }
+  MLSI_ASSERT(suite.size() == 90, "suite must have exactly 90 cases");
+  return suite;
+}
+
+}  // namespace mlsi::cases

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file artificial.hpp
+/// \brief Random switch-input generator for the 90-case scheduling study.
+///
+/// Section 4.2: "90 artificial switch input cases have been tested, with
+/// different input features: switch size, number of flows, number of
+/// connected modules, number of conflicting constraints, number of initial
+/// sets of flows, and binding policies." The generator reproduces that
+/// sweep deterministically from seeds.
+
+#include <cstdint>
+
+#include "synth/spec.hpp"
+
+namespace mlsi::cases {
+
+struct ArtificialParams {
+  int pins_per_side = 2;        ///< 2 or 3 (8- or 12-pin, as in the study)
+  int num_inlets = 2;
+  int num_outlets = 4;          ///< = number of flows (one per outlet)
+  int num_conflict_pairs = 0;   ///< flow conflicts across distinct inlets
+  synth::BindingPolicy policy = synth::BindingPolicy::kUnfixed;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random, validate()-clean spec: each outlet receives one flow
+/// from a random inlet; conflicts pair flows of distinct inlets; the
+/// clockwise order is a random permutation and the fixed binding a random
+/// pin sample. Infeasible *synthesis* outcomes are legitimate (that is a
+/// finding of the study); invalid *specs* are impossible by construction.
+synth::ProblemSpec make_artificial(const ArtificialParams& params);
+
+/// The 90-case suite: {8-pin, 12-pin} x {fixed, clockwise, unfixed} x
+/// 15 feature variants (2..3 inlets, 3..6 outlets, 0..3 conflicts).
+std::vector<synth::ProblemSpec> artificial_suite_90();
+
+}  // namespace mlsi::cases

@@ -1,0 +1,275 @@
+#include "cases/cases.hpp"
+
+#include "support/status.hpp"
+#include "support/strings.hpp"
+
+namespace mlsi::cases {
+namespace {
+
+using synth::FlowSpec;
+using synth::ModulePin;
+
+/// Small builder to keep the case definitions readable.
+class CaseBuilder {
+ public:
+  CaseBuilder(std::string name, int pins_per_side, BindingPolicy policy) {
+    spec_.name = std::move(name);
+    spec_.pins_per_side = pins_per_side;
+    spec_.policy = policy;
+  }
+
+  CaseBuilder& modules(std::vector<std::string> names) {
+    spec_.modules = std::move(names);
+    return *this;
+  }
+  CaseBuilder& flow(const std::string& from, const std::string& to) {
+    const int src = spec_.module_index(from);
+    const int dst = spec_.module_index(to);
+    MLSI_ASSERT(src >= 0 && dst >= 0, cat("unknown module in flow ", from,
+                                          "->", to));
+    spec_.flows.push_back(FlowSpec{src, dst});
+    return *this;
+  }
+  CaseBuilder& conflict(int flow_a, int flow_b) {
+    spec_.conflicts.emplace_back(flow_a, flow_b);
+    return *this;
+  }
+  /// Clockwise order by module names (used when policy == kClockwise).
+  CaseBuilder& order(const std::vector<std::string>& names) {
+    if (spec_.policy != BindingPolicy::kClockwise) return *this;
+    for (const auto& n : names) {
+      const int idx = spec_.module_index(n);
+      MLSI_ASSERT(idx >= 0, cat("unknown module in order: ", n));
+      spec_.clockwise_order.push_back(idx);
+    }
+    return *this;
+  }
+  /// Fixed binding by (module name, clockwise pin index) pairs
+  /// (used when policy == kFixed).
+  CaseBuilder& fixed(const std::vector<std::pair<std::string, int>>& pins) {
+    if (spec_.policy != BindingPolicy::kFixed) return *this;
+    for (const auto& [n, p] : pins) {
+      const int idx = spec_.module_index(n);
+      MLSI_ASSERT(idx >= 0, cat("unknown module in fixed binding: ", n));
+      spec_.fixed_binding.push_back(ModulePin{idx, p});
+    }
+    return *this;
+  }
+
+  ProblemSpec build() {
+    const Status valid = spec_.validate();
+    MLSI_ASSERT(valid.ok(), cat("case '", spec_.name, "': ", valid.to_string()));
+    return spec_;
+  }
+
+ private:
+  ProblemSpec spec_;
+};
+
+}  // namespace
+
+ProblemSpec chip_sw1(BindingPolicy policy) {
+  // Section 4.1: "conflicts between flows coming from flow inlets i10 and
+  // i11. The flow from i10 is routed to Mixer M4; the flows from i11 are
+  // distributed to Mixers M1, M2 and M3." Three auxiliary modules (a buffer
+  // inlet and two wash outlets) complete the reported #m = 9.
+  return CaseBuilder("ChIP sw.1", 3, policy)
+      .modules({"i10", "i11", "M1", "M2", "M3", "M4", "buf", "W1", "W2"})
+      .flow("i10", "M4")   // 0
+      .flow("i11", "M1")   // 1
+      .flow("i11", "M2")   // 2
+      .flow("i11", "M3")   // 3
+      .flow("buf", "W1")   // 4
+      .flow("buf", "W2")   // 5
+      .conflict(0, 1)
+      .conflict(0, 2)
+      .conflict(0, 3)
+      // Conflict-friendly order: i10/M4 on the top edge, i11 and its mixers
+      // around the bottom half.
+      .order({"i10", "M4", "buf", "M1", "i11", "M2", "M3", "W1", "W2"})
+      // Deliberately wider fixed layout (the paper's fixed run is feasible
+      // but longer: 16.4 mm vs 13.6 mm).
+      .fixed({{"i10", 0},  // T1
+              {"M4", 2},   // T3
+              {"buf", 1},  // T2
+              {"M1", 4},   // R2
+              {"i11", 6},  // B3
+              {"M2", 8},   // B1
+              {"M3", 10},  // L2
+              {"W1", 5},   // R3
+              {"W2", 11}}) // L1
+      .build();
+}
+
+ProblemSpec chip_sw2(BindingPolicy policy) {
+  // 10 modules, no conflicting flows (Table 4.3 row 2): two sample inlets
+  // feeding four mixers each side of the wash stage.
+  return CaseBuilder("ChIP sw.2", 3, policy)
+      .modules({"i20", "i21", "MA", "MB", "MC", "MD", "RA", "RB", "RC", "RD"})
+      .flow("i20", "MA")
+      .flow("i20", "MB")
+      .flow("i20", "MC")
+      .flow("i20", "MD")
+      .flow("i21", "RA")
+      .flow("i21", "RB")
+      .flow("i21", "RC")
+      .flow("i21", "RD")
+      .order({"i20", "MA", "MB", "MC", "MD", "i21", "RA", "RB", "RC", "RD"})
+      .fixed({{"i20", 0},
+              {"MA", 3},
+              {"MB", 5},
+              {"MC", 7},
+              {"MD", 9},
+              {"i21", 6},
+              {"RA", 1},
+              {"RB", 2},
+              {"RC", 10},
+              {"RD", 11}})
+      .build();
+}
+
+ProblemSpec nucleic_acid(BindingPolicy policy) {
+  // "The mixture from each mixer should be sent to a dedicated reaction
+  // chamber. If any mixtures pollute each other, the single-cell experiment
+  // ... is a failure." All three mixer products conflict pairwise. The
+  // seventh module is a waste outlet fed from M1.
+  return CaseBuilder("nucleic acid processor", 2, policy)
+      .modules({"M1", "M2", "M3", "RC1", "RC2", "RC3", "w"})
+      .flow("M1", "RC1")  // 0
+      .flow("M2", "RC2")  // 1
+      .flow("M3", "RC3")  // 2
+      .flow("M1", "w")    // 3
+      .conflict(0, 1)
+      .conflict(0, 2)
+      .conflict(1, 2)
+      // Interleaved order/binding: mixers opposite their chambers — this is
+      // the shape Columba's placement produced, and it admits no
+      // contamination-free routing on the 8-pin switch (Table 4.1:
+      // "no solution" for fixed and clockwise).
+      .order({"M1", "M2", "M3", "RC1", "RC2", "RC3", "w"})
+      .fixed({{"M1", 0},   // T1
+              {"M2", 1},   // T2
+              {"M3", 2},   // R1
+              {"RC1", 5},  // B1
+              {"RC2", 4},  // B2
+              {"RC3", 6},  // L2
+              {"w", 7}})   // L1
+      .build();
+}
+
+ProblemSpec mrna_isolation(BindingPolicy policy) {
+  // "RC1..RC4 send fluids to their dedicated fluid outlets p_c1..p_c4" with
+  // all four eluates mutually conflicting; a lysis buffer inlet and a waste
+  // outlet complete #m = 10.
+  return CaseBuilder("mRNA isolation", 3, policy)
+      .modules({"RC1", "RC2", "RC3", "RC4", "p_c1", "p_c2", "p_c3", "p_c4",
+                "lys", "waste"})
+      .flow("RC1", "p_c1")   // 0
+      .flow("RC2", "p_c2")   // 1
+      .flow("RC3", "p_c3")   // 2
+      .flow("RC4", "p_c4")   // 3
+      .flow("lys", "waste")  // 4
+      .conflict(0, 1)
+      .conflict(0, 2)
+      .conflict(0, 3)
+      .conflict(1, 2)
+      .conflict(1, 3)
+      .conflict(2, 3)
+      .order({"RC1", "RC2", "RC3", "RC4", "lys", "p_c1", "p_c2", "p_c3",
+              "p_c4", "waste"})
+      .fixed({{"RC1", 0},    // T1
+              {"p_c1", 7},   // B2
+              {"RC2", 1},    // T2
+              {"p_c2", 8},   // B1
+              {"RC3", 2},    // T3
+              {"p_c3", 9},   // L3
+              {"RC4", 3},    // R1
+              {"p_c4", 10},  // L2
+              {"lys", 4},    // R2
+              {"waste", 11}})  // L1
+      .build();
+}
+
+ProblemSpec kinase_sw1(BindingPolicy policy) {
+  // 4 modules, 12-pin, no conflicts; the fixed binding is already the
+  // compact layout, so all policies reach the same length (Table 4.3:
+  // L = 46 mm under every policy).
+  return CaseBuilder("kinase activity sw.1", 3, policy)
+      .modules({"in1", "in2", "A", "B"})
+      .flow("in1", "A")
+      .flow("in2", "B")
+      .order({"in1", "A", "in2", "B"})
+      .fixed({{"in1", 0}, {"A", 1}, {"in2", 3}, {"B", 4}})
+      .build();
+}
+
+ProblemSpec kinase_sw2(BindingPolicy policy) {
+  return CaseBuilder("kinase activity sw.2", 3, policy)
+      .modules({"in1", "in2", "A", "B", "C", "D"})
+      .flow("in1", "A")
+      .flow("in1", "B")
+      .flow("in2", "C")
+      .flow("in2", "D")
+      .order({"in1", "A", "B", "in2", "C", "D"})
+      .fixed({{"in1", 0},
+              {"A", 1},
+              {"B", 2},
+              {"in2", 6},
+              {"C", 7},
+              {"D", 8}})
+      .build();
+}
+
+ProblemSpec mrna_13(BindingPolicy policy) {
+  CaseBuilder b("mRNA isolation (13 modules)", 4, policy);
+  b.modules({"RC1", "RC2", "RC3", "RC4", "RC5", "p_c1", "p_c2", "p_c3",
+             "p_c4", "p_c5", "lys", "waste", "w2"});
+  for (int i = 1; i <= 5; ++i) {
+    b.flow(cat("RC", i), cat("p_c", i));  // flows 0..4
+  }
+  b.flow("lys", "waste").flow("lys", "w2");
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) b.conflict(i, j);
+  }
+  b.order({"RC1", "p_c1", "RC2", "p_c2", "RC3", "p_c3", "RC4", "p_c4", "RC5",
+           "p_c5", "lys", "waste", "w2"});
+  b.fixed({{"RC1", 0},
+           {"p_c1", 8},
+           {"RC2", 1},
+           {"p_c2", 9},
+           {"RC3", 2},
+           {"p_c3", 10},
+           {"RC4", 3},
+           {"p_c4", 11},
+           {"RC5", 4},
+           {"p_c5", 12},
+           {"lys", 5},
+           {"waste", 13},
+           {"w2", 14}});
+  return b.build();
+}
+
+ProblemSpec table42_example() {
+  // Table 4.2 verbatim: input flows 1->(7,10,11), 2->(5,8,9), 3->(4,6,12),
+  // connected module order 1..12, no conflicts, 12-pin, clockwise binding.
+  CaseBuilder b("scheduling example (Table 4.2)", 3, BindingPolicy::kClockwise);
+  std::vector<std::string> names;
+  for (int i = 1; i <= 12; ++i) names.push_back(cat(i));
+  b.modules(names);
+  b.flow("1", "7").flow("1", "10").flow("1", "11");
+  b.flow("2", "5").flow("2", "8").flow("2", "9");
+  b.flow("3", "4").flow("3", "6").flow("3", "12");
+  b.order(names);
+  return b.build();
+}
+
+std::vector<ProblemSpec> table41_cases(BindingPolicy policy) {
+  return {chip_sw1(policy), nucleic_acid(policy), mrna_isolation(policy)};
+}
+
+std::vector<ProblemSpec> table43_cases(BindingPolicy policy) {
+  return {chip_sw1(policy), chip_sw2(policy), kinase_sw1(policy),
+          kinase_sw2(policy)};
+}
+
+}  // namespace mlsi::cases

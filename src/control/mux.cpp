@@ -1,0 +1,52 @@
+#include "control/mux.hpp"
+
+#include <set>
+
+namespace mlsi::control {
+
+std::string MuxAssignment::pattern() const {
+  std::string out;
+  for (auto it = bits.rbegin(); it != bits.rend(); ++it) {
+    out += *it ? '1' : '0';
+  }
+  return out;
+}
+
+MuxPlan plan_multiplexer(int num_nets) {
+  MLSI_ASSERT(num_nets >= 0, "negative net count");
+  MuxPlan plan;
+  plan.num_channels = num_nets;
+  if (num_nets <= 1) {
+    // Zero or one net needs no addressing at all.
+    if (num_nets == 1) {
+      plan.assignments.push_back(MuxAssignment{0, {}});
+    }
+    return plan;
+  }
+  int bits = 0;
+  while ((1 << bits) < num_nets) ++bits;
+  plan.address_bits = bits;
+  plan.control_lines = 2 * bits;
+  plan.mux_valves = num_nets * bits;  // one valve per channel per pair
+  for (int net = 0; net < num_nets; ++net) {
+    MuxAssignment a;
+    a.net = net;
+    for (int b = 0; b < bits; ++b) a.bits.push_back(((net >> b) & 1) != 0);
+    plan.assignments.push_back(std::move(a));
+  }
+  return plan;
+}
+
+bool mux_plan_valid(const MuxPlan& plan) {
+  if (static_cast<int>(plan.assignments.size()) != plan.num_channels) {
+    return false;
+  }
+  std::set<std::string> seen;
+  for (const MuxAssignment& a : plan.assignments) {
+    if (static_cast<int>(a.bits.size()) != plan.address_bits) return false;
+    if (!seen.insert(a.pattern()).second) return false;  // ambiguous address
+  }
+  return true;
+}
+
+}  // namespace mlsi::control

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file mux.hpp
+/// \brief Binary multiplexer addressing for control inlets.
+///
+/// Columba S (which the scalable switch drawing targets, paper §2.2)
+/// drives its valve columns through microfluidic multiplexers — the
+/// combinatorial mux of Thorsen/Maerkl/Quake (paper reference [2]): with
+/// 2·ceil(log2 n) control lines, any one of n flow channels can be
+/// addressed, because each channel is crossed by one valve from every
+/// complementary line pair.
+///
+/// Given the control nets produced by route_control (or just their count),
+/// this module computes the mux: the number of address line pairs, and for
+/// every net the bit pattern — which line of each pair must pressurize to
+/// select that net. This is what a controller downloads to drive the
+/// synthesized switch with far fewer off-chip ports than one per inlet.
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mlsi::control {
+
+/// One addressed channel of the mux.
+struct MuxAssignment {
+  int net = -1;                 ///< the pressure group / control net
+  std::vector<bool> bits;       ///< bit b: use pair b's true line?
+  [[nodiscard]] std::string pattern() const;  ///< "101" style, MSB first
+};
+
+struct MuxPlan {
+  int num_channels = 0;      ///< addressed nets
+  int address_bits = 0;      ///< ceil(log2(num_channels)), 0 for <= 1
+  int control_lines = 0;     ///< 2 * address_bits (complementary pairs)
+  /// Valves on the mux itself: each channel crosses one valve per pair.
+  int mux_valves = 0;
+  std::vector<MuxAssignment> assignments;
+
+  /// Ports saved versus one dedicated inlet per net (can be negative for
+  /// tiny n — the bench shows the break-even at n = 5).
+  [[nodiscard]] int ports_saved() const {
+    return num_channels - control_lines;
+  }
+};
+
+/// Lays out a mux addressing \p num_nets control nets (ids 0..n-1).
+MuxPlan plan_multiplexer(int num_nets);
+
+/// True when every assignment is distinct and uses address_bits bits —
+/// the invariant that makes addressing unambiguous.
+bool mux_plan_valid(const MuxPlan& plan);
+
+}  // namespace mlsi::control

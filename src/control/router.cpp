@@ -1,0 +1,460 @@
+#include "control/router.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace mlsi::control {
+namespace {
+
+constexpr int kFree = -1;
+/// Minimum spacing between two control inlets, in cells (1 mm pads).
+int inlet_spacing_cells(double cell_um) {
+  return std::max(2, static_cast<int>(std::ceil(1000.0 / cell_um)) + 1);
+}
+
+/// Routing workspace for one route_control() call.
+class Router {
+ public:
+  Router(const arch::SwitchTopology& topo,
+         const synth::SynthesisResult& result, const RouterOptions& options)
+      : topo_(topo), result_(result), opt_(options) {}
+
+  Result<ControlPlan> run();
+
+ private:
+  struct Net {
+    int group;
+    std::vector<int> valves;      ///< segment ids
+    std::vector<Cell> seats;      ///< seat cell per valve
+  };
+
+  void build_grid();
+  Result<std::vector<Net>> collect_nets();
+  [[nodiscard]] int idx(Cell c) const { return c.y * width_ + c.x; }
+  [[nodiscard]] bool in_grid(Cell c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+  [[nodiscard]] bool on_boundary(Cell c) const {
+    return c.x == 0 || c.y == 0 || c.x == width_ - 1 || c.y == height_ - 1;
+  }
+  [[nodiscard]] Cell cell_of(arch::Point p) const {
+    return Cell{static_cast<int>((p.x - origin_x_) / opt_.cell_um),
+                static_cast<int>((p.y - origin_y_) / opt_.cell_um)};
+  }
+  /// True when the cell may be used by `net`: not owned or haloed by
+  /// another net, not a foreign valve seat.
+  [[nodiscard]] bool usable(Cell c, int net) const;
+  /// Dijkstra from \p sources to the first cell satisfying \p is_target;
+  /// returns the path (target first back to a source) or empty.
+  std::vector<Cell> search(const std::vector<Cell>& sources, int net,
+                           const std::function<bool(Cell)>& is_target) const;
+  /// Routes one net completely; commits its cells on success.
+  bool route_net(const Net& net, ControlNet& out);
+  void commit(const std::vector<Cell>& cells, int net);
+
+  const arch::SwitchTopology& topo_;
+  const synth::SynthesisResult& result_;
+  const RouterOptions& opt_;
+
+  int width_ = 0;
+  int height_ = 0;
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+
+  std::vector<int> owner_;       ///< cell -> net id or kFree
+  std::vector<int> seat_owner_;  ///< cell -> net id owning a valve seat here
+  std::vector<char> flow_cell_;  ///< cell overlaps a used flow channel
+  std::vector<Cell> inlets_;     ///< committed inlet cells
+};
+
+void Router::build_grid() {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  for (const arch::Vertex& v : topo_.vertices()) {
+    min_x = std::min(min_x, v.pos.x);
+    min_y = std::min(min_y, v.pos.y);
+    max_x = std::max(max_x, v.pos.x);
+    max_y = std::max(max_y, v.pos.y);
+  }
+  origin_x_ = min_x - opt_.margin_um;
+  origin_y_ = min_y - opt_.margin_um;
+  width_ = static_cast<int>((max_x - min_x + 2 * opt_.margin_um) /
+                            opt_.cell_um) + 1;
+  height_ = static_cast<int>((max_y - min_y + 2 * opt_.margin_um) /
+                             opt_.cell_um) + 1;
+  owner_.assign(static_cast<std::size_t>(width_) * height_, kFree);
+  seat_owner_.assign(static_cast<std::size_t>(width_) * height_, kFree);
+  flow_cell_.assign(static_cast<std::size_t>(width_) * height_, 0);
+
+  // Mark cells overlapping used flow channels (for crossing counting).
+  const double reach = opt_.cell_um * 0.75;
+  for (const int sid : result_.used_segments) {
+    const arch::Segment& s = topo_.segment(sid);
+    const arch::Point a = topo_.vertex(s.a).pos;
+    const arch::Point b = topo_.vertex(s.b).pos;
+    const int steps = std::max(
+        1, static_cast<int>(s.length_um / (opt_.cell_um * 0.5)));
+    for (int i = 0; i <= steps; ++i) {
+      const double t = static_cast<double>(i) / steps;
+      const arch::Point p{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+      const Cell center = cell_of(p);
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const Cell c{center.x + dx, center.y + dy};
+          if (!in_grid(c)) continue;
+          const double cx = origin_x_ + (c.x + 0.5) * opt_.cell_um;
+          const double cy = origin_y_ + (c.y + 0.5) * opt_.cell_um;
+          if (std::hypot(cx - p.x, cy - p.y) <= reach) {
+            flow_cell_[static_cast<std::size_t>(idx(c))] = 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<std::vector<Router::Net>> Router::collect_nets() {
+  std::map<int, Net> by_group;
+  for (std::size_t i = 0; i < result_.essential_valves.size(); ++i) {
+    const int group = i < result_.pressure_group.size()
+                          ? result_.pressure_group[i]
+                          : static_cast<int>(i);
+    const int seg_id = result_.essential_valves[i];
+    const arch::Segment& seg = topo_.segment(seg_id);
+    const arch::Point a = topo_.vertex(seg.a).pos;
+    const arch::Point b = topo_.vertex(seg.b).pos;
+    const Cell seat = cell_of({(a.x + b.x) / 2, (a.y + b.y) / 2});
+    auto& net = by_group[group];
+    net.group = group;
+    net.valves.push_back(seg_id);
+    net.seats.push_back(seat);
+    const int prev = seat_owner_[static_cast<std::size_t>(idx(seat))];
+    if (prev != kFree && prev != group) {
+      return Status::InvalidArgument(
+          cat("valve seats of pressure groups ", prev, " and ", group,
+              " fall into the same ", opt_.cell_um,
+              "um routing cell; use a finer grid"));
+    }
+    seat_owner_[static_cast<std::size_t>(idx(seat))] = group;
+  }
+  std::vector<Net> nets;
+  for (auto& [g, net] : by_group) {
+    (void)g;
+    nets.push_back(std::move(net));
+  }
+  // Innermost nets first: a valve deep inside the switch must thread its
+  // way out while the surroundings are still free; outer nets cannot be
+  // walled in by it. Ties: larger nets first.
+  const auto boundary_distance = [&](const Net& net) {
+    int best = std::numeric_limits<int>::max();
+    for (const Cell s : net.seats) {
+      best = std::min({best, s.x, s.y, width_ - 1 - s.x, height_ - 1 - s.y});
+    }
+    return best;
+  };
+  std::sort(nets.begin(), nets.end(), [&](const Net& a, const Net& b) {
+    const int da = boundary_distance(a);
+    const int db = boundary_distance(b);
+    if (da != db) return da > db;
+    return a.valves.size() > b.valves.size();
+  });
+  return nets;
+}
+
+bool Router::usable(Cell c, int net) const {
+  if (!in_grid(c)) return false;
+  // Own cells are reusable; other nets' cells and their 8-halo are not
+  // (enforces the 100 um control spacing at 200 um pitch). Foreign valve
+  // seats are kept clear with the same halo: running a channel across one
+  // would actuate it, and running flush against one would wall it in
+  // before its own net is routed.
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const Cell n{c.x + dx, c.y + dy};
+      if (!in_grid(n)) continue;
+      const int o = owner_[static_cast<std::size_t>(idx(n))];
+      if (o != kFree && o != net) return false;
+      const int seat = seat_owner_[static_cast<std::size_t>(idx(n))];
+      if (seat != kFree && seat != net) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Cell> Router::search(
+    const std::vector<Cell>& sources, int net,
+    const std::function<bool(Cell)>& is_target) const {
+  const std::size_t n = static_cast<std::size_t>(width_) * height_;
+  std::vector<int> dist(n, std::numeric_limits<int>::max());
+  std::vector<int> prev(n, -1);
+  using Item = std::pair<int, int>;  // (dist, cell index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (const Cell s : sources) {
+    if (!in_grid(s)) continue;
+    dist[static_cast<std::size_t>(idx(s))] = 0;
+    heap.emplace(0, idx(s));
+  }
+  const int dx[] = {1, -1, 0, 0};
+  const int dy[] = {0, 0, 1, -1};
+  while (!heap.empty()) {
+    const auto [d, ci] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(ci)]) continue;
+    const Cell c{ci % width_, ci / width_};
+    if (is_target(c)) {
+      std::vector<Cell> path;
+      for (int cur = ci; cur != -1; cur = prev[static_cast<std::size_t>(cur)]) {
+        path.push_back(Cell{cur % width_, cur / width_});
+      }
+      return path;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const Cell nb{c.x + dx[k], c.y + dy[k]};
+      if (!usable(nb, net)) continue;
+      // Crossing a flow channel costs extra (narrowed crossing geometry).
+      const int step = 1 + (flow_cell_[static_cast<std::size_t>(idx(nb))] != 0
+                                ? 2
+                                : 0);
+      const int nd = d + step;
+      if (nd < dist[static_cast<std::size_t>(idx(nb))]) {
+        dist[static_cast<std::size_t>(idx(nb))] = nd;
+        prev[static_cast<std::size_t>(idx(nb))] = ci;
+        heap.emplace(nd, idx(nb));
+      }
+    }
+  }
+  return {};
+}
+
+void Router::commit(const std::vector<Cell>& cells, int net) {
+  for (const Cell c : cells) {
+    owner_[static_cast<std::size_t>(idx(c))] = net;
+  }
+}
+
+bool Router::route_net(const Net& net, ControlNet& out) {
+  out.group = net.group;
+  out.valve_segments = net.valves;
+  out.cells.clear();
+  out.flow_crossings = 0;
+
+  const int spacing = inlet_spacing_cells(opt_.cell_um);
+  const auto inlet_ok = [&](Cell c) {
+    if (!on_boundary(c)) return false;
+    for (const Cell other : inlets_) {
+      if (std::abs(other.x - c.x) + std::abs(other.y - c.y) < spacing) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Leg 1: seed seat -> boundary inlet.
+  if (!usable(net.seats.front(), net.group)) return false;
+  std::vector<Cell> path =
+      search({net.seats.front()}, net.group, inlet_ok);
+  if (path.empty()) return false;
+  out.inlet = path.front();  // search returns target-first
+  out.cells = path;
+  commit(path, net.group);
+
+  // Legs 2..n: every further seat attaches to the existing tree.
+  for (std::size_t i = 1; i < net.seats.size(); ++i) {
+    const Cell seat = net.seats[i];
+    const bool already =
+        std::find(out.cells.begin(), out.cells.end(), seat) != out.cells.end();
+    if (already) continue;
+    std::vector<Cell> leg =
+        search(out.cells, net.group, [&](Cell c) { return c == seat; });
+    if (leg.empty()) return false;
+    out.cells.insert(out.cells.end(), leg.begin(), leg.end());
+    commit(leg, net.group);
+  }
+
+  // Stats: length = cells * pitch; crossings = flow-cell runs.
+  std::set<int> unique;
+  for (const Cell c : out.cells) unique.insert(idx(c));
+  out.length_mm =
+      static_cast<double>(unique.size()) * opt_.cell_um / 1000.0;
+  bool in_run = false;
+  for (const Cell c : out.cells) {
+    const bool on_flow = flow_cell_[static_cast<std::size_t>(idx(c))] != 0;
+    if (on_flow && !in_run) ++out.flow_crossings;
+    in_run = on_flow;
+  }
+  inlets_.push_back(out.inlet);
+  return true;
+}
+
+Result<ControlPlan> Router::run() {
+  build_grid();
+  auto nets = collect_nets();
+  if (!nets.ok()) return nets.status();
+
+  // Several ordering attempts: as collected, then failed-first.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::fill(owner_.begin(), owner_.end(), kFree);
+    inlets_.clear();
+    ControlPlan plan;
+    plan.grid_width = width_;
+    plan.grid_height = height_;
+    plan.cell_um = opt_.cell_um;
+    plan.origin_x_um = origin_x_;
+    plan.origin_y_um = origin_y_;
+    std::vector<Net> failed;
+    bool all_ok = true;
+    for (const Net& net : *nets) {
+      ControlNet routed;
+      if (route_net(net, routed)) {
+        plan.total_length_mm += routed.length_mm;
+        plan.total_crossings += routed.flow_crossings;
+        plan.nets.push_back(std::move(routed));
+      } else {
+        failed.push_back(net);
+        all_ok = false;
+      }
+    }
+    if (all_ok) {
+      const Status drc = plan.check(topo_);
+      if (!drc.ok()) return drc;
+      return plan;
+    }
+    // Retry with the failures first.
+    std::vector<Net> reordered = failed;
+    for (const Net& net : *nets) {
+      const bool was_failed =
+          std::any_of(failed.begin(), failed.end(), [&](const Net& f) {
+            return f.group == net.group;
+          });
+      if (!was_failed) reordered.push_back(net);
+    }
+    *nets = std::move(reordered);
+  }
+  return Status::Infeasible(
+      cat("control routing failed for ", topo_.name(), " at ", opt_.cell_um,
+          "um pitch even after reordering"));
+}
+
+}  // namespace
+
+Status ControlPlan::check(const arch::SwitchTopology& topo) const {
+  // Pairwise separation including the 8-neighbour halo.
+  std::map<std::pair<int, int>, int> cell_net;
+  for (const ControlNet& net : nets) {
+    for (const Cell c : net.cells) {
+      const auto [it, inserted] = cell_net.emplace(std::pair{c.x, c.y},
+                                                   net.group);
+      if (!inserted && it->second != net.group) {
+        return Status::Internal(cat("nets ", it->second, " and ", net.group,
+                                    " share a cell"));
+      }
+    }
+  }
+  for (const auto& [cell, g] : cell_net) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto it = cell_net.find({cell.first + dx, cell.second + dy});
+        if (it != cell_net.end() && it->second != g) {
+          return Status::Internal(cat("nets ", g, " and ", it->second,
+                                      " violate control spacing"));
+        }
+      }
+    }
+  }
+  // Every valve seat covered by its own net.
+  for (const ControlNet& net : nets) {
+    for (const int seg_id : net.valve_segments) {
+      const arch::Segment& seg = topo.segment(seg_id);
+      const arch::Point a = topo.vertex(seg.a).pos;
+      const arch::Point b = topo.vertex(seg.b).pos;
+      const Cell seat{
+          static_cast<int>(((a.x + b.x) / 2 - origin_x_um) / cell_um),
+          static_cast<int>(((a.y + b.y) / 2 - origin_y_um) / cell_um)};
+      const bool covered =
+          std::find(net.cells.begin(), net.cells.end(), seat) !=
+          net.cells.end();
+      if (!covered) {
+        return Status::Internal(cat("net ", net.group,
+                                    " misses valve seat of ", seg.name));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ControlPlan> route_control(const arch::SwitchTopology& topo,
+                                  const synth::SynthesisResult& result,
+                                  const RouterOptions& options) {
+  MLSI_ASSERT(options.cell_um > 0 && options.margin_um >= options.cell_um,
+              "bad router options");
+  Router router(topo, result, options);
+  return router.run();
+}
+
+std::string render_control_svg(const arch::SwitchTopology& topo,
+                               const synth::SynthesisResult& result,
+                               const ControlPlan& plan) {
+  constexpr const char* kNetColors[] = {"#2e7d32", "#00838f", "#6a1b9a",
+                                        "#ef6c00", "#ad1457", "#33691e",
+                                        "#283593", "#4e342e"};
+  const double scale = 0.12;
+  const auto sx = [&](double um) { return (um - plan.origin_x_um) * scale + 10; };
+  const auto sy = [&](double um) { return (um - plan.origin_y_um) * scale + 10; };
+  const double w = plan.grid_width * plan.cell_um * scale + 20;
+  const double h = plan.grid_height * plan.cell_um * scale + 60;
+
+  std::string svg = cat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", fmt_double(w, 0),
+      "\" height=\"", fmt_double(h, 0), "\">\n",
+      "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+  // Flow layer, light blue.
+  for (const int sid : result.used_segments) {
+    const arch::Segment& s = topo.segment(sid);
+    const arch::Point a = topo.vertex(s.a).pos;
+    const arch::Point b = topo.vertex(s.b).pos;
+    svg += cat("<line x1=\"", fmt_double(sx(a.x), 1), "\" y1=\"",
+               fmt_double(sy(a.y), 1), "\" x2=\"", fmt_double(sx(b.x), 1),
+               "\" y2=\"", fmt_double(sy(b.y), 1),
+               "\" stroke=\"#90caf9\" stroke-width=\"",
+               fmt_double(100 * scale * 1.2, 1),
+               "\" stroke-linecap=\"round\"/>\n");
+  }
+  // Control nets as cell squares; inlets as 1 mm pads.
+  for (const ControlNet& net : plan.nets) {
+    const char* color = kNetColors[static_cast<std::size_t>(net.group) %
+                                   std::size(kNetColors)];
+    for (const Cell c : net.cells) {
+      svg += cat("<rect x=\"",
+                 fmt_double(sx(plan.origin_x_um + c.x * plan.cell_um), 1),
+                 "\" y=\"",
+                 fmt_double(sy(plan.origin_y_um + c.y * plan.cell_um), 1),
+                 "\" width=\"", fmt_double(plan.cell_um * scale, 1),
+                 "\" height=\"", fmt_double(plan.cell_um * scale, 1),
+                 "\" fill=\"", color, "\" fill-opacity=\"0.75\"/>\n");
+    }
+    const double ix = plan.origin_x_um + (net.inlet.x + 0.5) * plan.cell_um;
+    const double iy = plan.origin_y_um + (net.inlet.y + 0.5) * plan.cell_um;
+    svg += cat("<rect x=\"", fmt_double(sx(ix) - 500 * scale, 1), "\" y=\"",
+               fmt_double(sy(iy) - 500 * scale, 1), "\" width=\"",
+               fmt_double(1000 * scale, 1), "\" height=\"",
+               fmt_double(1000 * scale, 1), "\" fill=\"none\" stroke=\"",
+               color, "\" stroke-width=\"2\"/>\n");
+  }
+  svg += cat("<text x=\"10\" y=\"", fmt_double(h - 24, 0),
+             "\" font-size=\"12\" font-family=\"sans-serif\">",
+             plan.nets.size(), " control nets, ",
+             fmt_double(plan.total_length_mm, 1), " mm control channel, ",
+             plan.total_crossings, " flow crossings</text>\n</svg>\n");
+  return svg;
+}
+
+}  // namespace mlsi::control

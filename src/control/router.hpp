@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file router.hpp
+/// \brief Control-layer routing for the synthesized switch.
+///
+/// The thesis stops at grouping valves ("the control channel routing of
+/// pressure sharing lies beyond the scope of this thesis") and lists it as
+/// required future work. This module supplies it: every pressure group
+/// becomes one control *net* that connects all of the group's valve seats
+/// to a control inlet placed on the chip boundary.
+///
+/// Model (multilayer soft lithography, after Unger et al. / the Stanford
+/// rules the paper quotes):
+///  * the control layer is routed on a uniform grid over the switch
+///    bounding box plus a boundary ring where control inlets (1 mm^2) sit;
+///  * control channels of *different* nets must never touch — a spacing
+///    halo of one grid cell enforces the 100 um minimum;
+///  * a control channel may cross a flow channel (narrow crossings do not
+///    actuate), but must not run across another group's valve seat, which
+///    would create an unintended valve; crossings are counted because each
+///    one needs the narrowed crossing geometry;
+///  * channels of the same net may merge freely (they carry one pressure).
+///
+/// Algorithm: sequential Lee-style maze routing, largest net first. Each
+/// net first routes its seed valve to the nearest free boundary cell (the
+/// inlet), then attaches every further valve to the already-routed net by
+/// multi-source BFS. A single rip-up-and-retry pass reorders failed nets
+/// to the front. This is deliberately simple — the point is a complete,
+/// verifiable flow — and is validated by its own DRC (check()).
+
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "support/status.hpp"
+#include "synth/result.hpp"
+
+namespace mlsi::control {
+
+struct RouterOptions {
+  double cell_um = 200.0;    ///< routing grid pitch
+  double margin_um = 1200.0; ///< boundary ring beyond the switch bbox
+};
+
+/// Grid cell coordinate.
+struct Cell {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(Cell a, Cell b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// One routed control net (= one pressure group = one control inlet).
+struct ControlNet {
+  int group = -1;
+  std::vector<int> valve_segments;  ///< flow-layer segments it actuates
+  std::vector<Cell> cells;          ///< all grid cells of the net's tree
+  Cell inlet;                       ///< boundary cell carrying the inlet
+  double length_mm = 0.0;           ///< total channel length
+  int flow_crossings = 0;           ///< narrow crossings over flow channels
+};
+
+struct ControlPlan {
+  std::vector<ControlNet> nets;
+  int grid_width = 0;
+  int grid_height = 0;
+  double cell_um = 0.0;
+  double origin_x_um = 0.0;  ///< chip coordinate of cell (0,0)
+  double origin_y_um = 0.0;
+  double total_length_mm = 0.0;
+  int total_crossings = 0;
+
+  /// Design-rule check: net cells pairwise disjoint and non-adjacent
+  /// (8-neighbourhood), every valve seat covered by its own net only.
+  [[nodiscard]] Status check(const arch::SwitchTopology& topo) const;
+};
+
+/// Routes the control layer for a synthesized switch. Needs
+/// result.essential_valves and result.pressure_group (run pressure sharing
+/// first, or PressureMode::kOff for one net per valve).
+/// Returns kInfeasible when some net cannot be completed at this grid
+/// resolution even after retry.
+Result<ControlPlan> route_control(const arch::SwitchTopology& topo,
+                                  const synth::SynthesisResult& result,
+                                  const RouterOptions& options = {});
+
+/// SVG overlay of a control plan on top of the flow layer (green channels,
+/// inlet squares, valve seats), Columba-style two-layer view.
+std::string render_control_svg(const arch::SwitchTopology& topo,
+                               const synth::SynthesisResult& result,
+                               const ControlPlan& plan);
+
+}  // namespace mlsi::control

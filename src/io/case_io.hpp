@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file case_io.hpp
+/// \brief JSON serialization of switch-synthesis cases and results.
+///
+/// Case file format (all fields of ProblemSpec):
+/// \code{.json}
+/// {
+///   "name": "chip_sw1",
+///   "pins_per_side": 3,
+///   "modules": ["i10", "i11", "M1", "M2", "M3", "M4"],
+///   "flows": [{"from": "i10", "to": "M4"}, {"from": "i11", "to": "M1"}],
+///   "conflicts": [[0, 1]],
+///   "policy": "clockwise",
+///   "clockwise_order": ["i10", "M1", "M2", "i11", "M3", "M4"],
+///   "fixed_binding": {"i10": 0, "M4": 5},
+///   "alpha": 1, "beta": 100, "max_sets": 0
+/// }
+/// \endcode
+/// clockwise_order is required for the clockwise policy; fixed_binding
+/// (module name -> clockwise pin index) for the fixed policy.
+
+#include <string>
+
+#include "support/json.hpp"
+#include "synth/result.hpp"
+#include "synth/spec.hpp"
+
+namespace mlsi::io {
+
+/// Parses a case from a JSON document / file. The returned spec is
+/// validate()d.
+Result<synth::ProblemSpec> spec_from_json(const json::Value& doc);
+Result<synth::ProblemSpec> load_spec(const std::string& path);
+
+/// Serializes a spec (round-trips through spec_from_json).
+json::Value spec_to_json(const synth::ProblemSpec& spec);
+Status save_spec(const std::string& path, const synth::ProblemSpec& spec);
+
+/// Serializes a synthesis result (for EXPERIMENTS.md-style records): the
+/// schedule, binding, per-flow paths by segment names, lengths, valves and
+/// pressure groups.
+json::Value result_to_json(const arch::SwitchTopology& topo,
+                           const synth::ProblemSpec& spec,
+                           const synth::SynthesisResult& result);
+
+}  // namespace mlsi::io

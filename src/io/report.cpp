@@ -1,0 +1,53 @@
+#include "io/report.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace mlsi::io {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    std::string line;
+    for (const std::size_t w : width) line += cat("+", std::string(w + 2, '-'));
+    line += "+\n";
+    return line;
+  }();
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += cat("| ", pad_right(cell, width[c]), " ");
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = rule + emit_row(headers_) + rule;
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule : emit_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace mlsi::io

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Fixed-width plain-text tables for the benchmark reports.
+///
+/// The bench binaries print tables shaped exactly like the paper's
+/// (Tables 4.1-4.3): a header row, aligned columns, and "no solution"
+/// spans. Purely presentational.
+
+#include <string>
+#include <vector>
+
+namespace mlsi::io {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+  /// Appends a horizontal rule.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+}  // namespace mlsi::io

@@ -1,0 +1,258 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace mlsi::io {
+namespace {
+
+/// Flow-set palette (paper: green/yellow/blue lines for sets).
+constexpr const char* kSetColors[] = {"#2e7d32", "#f9a825", "#1565c0",
+                                      "#ad1457", "#00838f", "#6a1b9a",
+                                      "#ef6c00", "#4e342e"};
+/// Pressure-group palette for valve fills.
+constexpr const char* kGroupColors[] = {"#ffcc80", "#90caf9", "#a5d6a7",
+                                        "#ce93d8", "#ffab91", "#80cbc4",
+                                        "#e6ee9c", "#f48fb1", "#b0bec5",
+                                        "#ffe082", "#9fa8da", "#bcaaa4"};
+
+const char* set_color(int s) {
+  return kSetColors[static_cast<std::size_t>(s) % std::size(kSetColors)];
+}
+const char* group_color(int g) {
+  if (g < 0) return "#eeeeee";
+  return kGroupColors[static_cast<std::size_t>(g) % std::size(kGroupColors)];
+}
+
+class SvgCanvas {
+ public:
+  SvgCanvas(double width, double height) : w_(width), h_(height) {}
+
+  void line(double x1, double y1, double x2, double y2, const char* color,
+            double width, const char* dash = nullptr) {
+    body_ += cat("<line x1=\"", fmt_double(x1, 2), "\" y1=\"", fmt_double(y1, 2),
+                 "\" x2=\"", fmt_double(x2, 2), "\" y2=\"", fmt_double(y2, 2),
+                 "\" stroke=\"", color, "\" stroke-width=\"",
+                 fmt_double(width, 2), "\" stroke-linecap=\"round\"");
+    if (dash != nullptr) body_ += cat(" stroke-dasharray=\"", dash, "\"");
+    body_ += "/>\n";
+  }
+
+  void rect(double cx, double cy, double w, double h, double angle_deg,
+            const char* fill, const char* stroke) {
+    body_ += cat("<rect x=\"", fmt_double(cx - w / 2, 2), "\" y=\"",
+                 fmt_double(cy - h / 2, 2), "\" width=\"", fmt_double(w, 2),
+                 "\" height=\"", fmt_double(h, 2), "\" fill=\"", fill,
+                 "\" stroke=\"", stroke, "\" stroke-width=\"1.2\"");
+    if (angle_deg != 0.0) {
+      body_ += cat(" transform=\"rotate(", fmt_double(angle_deg, 1), " ",
+                   fmt_double(cx, 2), " ", fmt_double(cy, 2), ")\"");
+    }
+    body_ += "/>\n";
+  }
+
+  void circle(double cx, double cy, double r, const char* fill) {
+    body_ += cat("<circle cx=\"", fmt_double(cx, 2), "\" cy=\"",
+                 fmt_double(cy, 2), "\" r=\"", fmt_double(r, 2), "\" fill=\"",
+                 fill, "\"/>\n");
+  }
+
+  void text(double x, double y, const std::string& s, double size,
+            const char* color = "#333333") {
+    std::string esc;
+    for (const char c : s) {
+      if (c == '<') {
+        esc += "&lt;";
+      } else if (c == '&') {
+        esc += "&amp;";
+      } else {
+        esc += c;
+      }
+    }
+    body_ += cat("<text x=\"", fmt_double(x, 2), "\" y=\"", fmt_double(y, 2),
+                 "\" font-size=\"", fmt_double(size, 1),
+                 "\" font-family=\"sans-serif\" fill=\"", color, "\">", esc,
+                 "</text>\n");
+  }
+
+  [[nodiscard]] std::string finish() const {
+    return cat("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"",
+               fmt_double(w_, 0), "\" height=\"", fmt_double(h_, 0),
+               "\" viewBox=\"0 0 ", fmt_double(w_, 0), " ", fmt_double(h_, 0),
+               "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+               body_, "</svg>\n");
+  }
+
+ private:
+  double w_;
+  double h_;
+  std::string body_;
+};
+
+struct Bounds {
+  double max_x = 0.0;
+  double max_y = 0.0;
+};
+
+Bounds bounds_of(const arch::SwitchTopology& topo) {
+  Bounds b;
+  for (const arch::Vertex& v : topo.vertices()) {
+    b.max_x = std::max(b.max_x, v.pos.x);
+    b.max_y = std::max(b.max_y, v.pos.y);
+  }
+  return b;
+}
+
+class SwitchRenderer {
+ public:
+  SwitchRenderer(const arch::SwitchTopology& topo, const SvgOptions& options,
+                 double extra_height_px)
+      : topo_(topo),
+        opt_(options),
+        bounds_(bounds_of(topo)),
+        canvas_((bounds_.max_x + 600.0) * options.scale + 160.0,
+                (bounds_.max_y + 600.0) * options.scale + extra_height_px) {}
+
+  [[nodiscard]] double sx(double um) const { return (um + 300.0) * opt_.scale + 20.0; }
+  [[nodiscard]] double sy(double um) const { return (um + 300.0) * opt_.scale + 20.0; }
+  [[nodiscard]] double chan_px() const { return 100.0 * opt_.scale * 1.2; }
+
+  void draw_segment(const arch::Segment& seg, const char* color, double width,
+                    const char* dash = nullptr) {
+    const arch::Point a = topo_.vertex(seg.a).pos;
+    const arch::Point b = topo_.vertex(seg.b).pos;
+    canvas_.line(sx(a.x), sy(a.y), sx(b.x), sy(b.y), color, width, dash);
+  }
+
+  void draw_valve(const arch::Segment& seg, const char* fill) {
+    const arch::Point a = topo_.vertex(seg.a).pos;
+    const arch::Point b = topo_.vertex(seg.b).pos;
+    const double cx = sx((a.x + b.x) / 2);
+    const double cy = sy((a.y + b.y) / 2);
+    const double angle =
+        std::atan2(b.y - a.y, b.x - a.x) * 180.0 / 3.14159265358979;
+    // Valve channel (300 um) across the flow channel (100 um long seat).
+    canvas_.rect(cx, cy, 100.0 * opt_.scale * 1.6, 300.0 * opt_.scale, angle,
+                 fill, "#e65100");
+    if (opt_.scalable_layout) {
+      // Columba-S style: the control channel leaves vertically downward.
+      canvas_.line(cx, cy, cx, (bounds_.max_y + 500.0) * opt_.scale + 20.0,
+                   "#2e7d32", 300.0 * opt_.scale * 0.4, "4,3");
+    }
+  }
+
+  void draw_vertices() {
+    for (const arch::Vertex& v : topo_.vertices()) {
+      const double x = sx(v.pos.x);
+      const double y = sy(v.pos.y);
+      if (v.kind == arch::VertexKind::kPin) {
+        canvas_.circle(x, y, 3.4, "#0d47a1");
+        if (opt_.show_labels) canvas_.text(x + 5, y - 4, v.name, 11, "#0d47a1");
+      } else if (v.kind == arch::VertexKind::kNode) {
+        canvas_.circle(x, y, 2.2, "#555555");
+        if (opt_.show_labels) canvas_.text(x + 4, y - 3, v.name, 9);
+      }
+    }
+  }
+
+  SvgCanvas& canvas() { return canvas_; }
+  [[nodiscard]] double legend_y() const {
+    return (bounds_.max_y + 600.0) * opt_.scale + 24.0;
+  }
+
+ private:
+  const arch::SwitchTopology& topo_;
+  const SvgOptions& opt_;
+  Bounds bounds_;
+  SvgCanvas canvas_;
+};
+
+}  // namespace
+
+std::string render_structure(const arch::SwitchTopology& topo,
+                             const SvgOptions& options) {
+  SwitchRenderer r(topo, options, 40.0);
+  for (const arch::Segment& seg : topo.segments()) {
+    r.draw_segment(seg, "#1565c0", r.chan_px());
+  }
+  for (const arch::Segment& seg : topo.segments()) {
+    if (seg.has_valve) r.draw_valve(seg, "#ffcc80");
+  }
+  r.draw_vertices();
+  r.canvas().text(20, r.legend_y(), cat(topo.name(), ": ",
+                                        topo.num_segments(), " segments, ",
+                                        topo.num_pins(), " pins"),
+                  12);
+  return r.canvas().finish();
+}
+
+std::string render_result(const arch::SwitchTopology& topo,
+                          const synth::ProblemSpec& spec,
+                          const synth::SynthesisResult& result,
+                          const SvgOptions& options) {
+  SwitchRenderer r(topo, options, 64.0);
+  const std::set<int> used(result.used_segments.begin(),
+                           result.used_segments.end());
+
+  if (options.show_unused) {
+    for (const arch::Segment& seg : topo.segments()) {
+      if (used.count(seg.id) == 0) {
+        r.draw_segment(seg, "#cccccc", r.chan_px() * 0.5, "5,5");
+      }
+    }
+  }
+  // Used channels in flow-layer blue, then flow paths colored by set.
+  for (const int sid : result.used_segments) {
+    r.draw_segment(topo.segment(sid), "#90a4ae", r.chan_px());
+  }
+  for (const synth::RoutedFlow& rf : result.routed) {
+    for (const int sid : rf.path.segments) {
+      r.draw_segment(topo.segment(sid), set_color(rf.set), r.chan_px() * 0.55);
+    }
+  }
+  // Essential valves colored by pressure group.
+  for (std::size_t i = 0; i < result.essential_valves.size(); ++i) {
+    const int g = i < result.pressure_group.size()
+                      ? result.pressure_group[i]
+                      : -1;
+    r.draw_valve(topo.segment(result.essential_valves[i]), group_color(g));
+  }
+  r.draw_vertices();
+
+  // Module names at their pins.
+  for (int m = 0; m < spec.num_modules(); ++m) {
+    const int pin = result.binding[static_cast<std::size_t>(m)];
+    if (pin < 0) continue;
+    const arch::Point p = topo.vertex(pin).pos;
+    r.canvas().text(r.sx(p.x) - 10, r.sy(p.y) - 12,
+                    spec.modules[static_cast<std::size_t>(m)], 11, "#b71c1c");
+  }
+
+  // Legend.
+  double y = r.legend_y();
+  r.canvas().text(20, y,
+                  cat(spec.name, " [", to_string(spec.policy), "]  L=",
+                      fmt_double(result.flow_length_mm, 1), "mm  #v=",
+                      result.num_valves(), "  #s=", result.num_sets,
+                      "  control inlets=", result.num_pressure_groups),
+                  12);
+  y += 16;
+  for (int s = 0; s < result.num_sets; ++s) {
+    r.canvas().line(20 + 90.0 * s, y, 50 + 90.0 * s, y, set_color(s), 4);
+    r.canvas().text(54 + 90.0 * s, y + 4, cat("set ", s), 11);
+  }
+  return r.canvas().finish();
+}
+
+Status write_svg(const std::string& path, const std::string& svg) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound(cat("cannot open ", path, " for writing"));
+  out << svg;
+  return out.good() ? Status::Ok() : Status::Internal(cat("short write to ", path));
+}
+
+}  // namespace mlsi::io

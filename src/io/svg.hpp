@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file svg.hpp
+/// \brief SVG rendering of switch structures and synthesis results.
+///
+/// Regenerates the paper's figures: full structures (Figs 2.3/2.4),
+/// synthesized application-specific switches with flow sets in color and
+/// essential valves colored by pressure group (Figs 4.1/4.2/4.4), and the
+/// "scalable" Columba-S-compatible drawing with vertical control channels
+/// (Figs 2.5/2.6/4.3). Flow channels are blue, control elements green,
+/// valves orange-bordered rectangles — the paper's color language.
+
+#include <string>
+
+#include "arch/topology.hpp"
+#include "synth/result.hpp"
+#include "synth/spec.hpp"
+
+namespace mlsi::io {
+
+struct SvgOptions {
+  double scale = 0.12;            ///< px per um
+  bool show_labels = true;        ///< vertex names
+  bool show_unused = true;        ///< draw removed segments faintly
+  bool scalable_layout = false;   ///< draw Columba-S style control columns
+};
+
+/// Renders the bare structure (no synthesis result).
+std::string render_structure(const arch::SwitchTopology& topo,
+                             const SvgOptions& options = {});
+
+/// Renders a synthesized switch: used channels solid, flows colored by flow
+/// set, essential valves colored by pressure group, module names at their
+/// bound pins.
+std::string render_result(const arch::SwitchTopology& topo,
+                          const synth::ProblemSpec& spec,
+                          const synth::SynthesisResult& result,
+                          const SvgOptions& options = {});
+
+/// Writes \p svg to \p path.
+Status write_svg(const std::string& path, const std::string& svg);
+
+}  // namespace mlsi::io

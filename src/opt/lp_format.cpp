@@ -1,0 +1,156 @@
+#include "opt/lp_format.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace mlsi::opt {
+namespace {
+
+/// LP-format identifiers: start with a letter, then [A-Za-z0-9_.].
+std::string sanitize(const std::string& raw, int id,
+                     std::set<std::string>& used, bool& renamed) {
+  std::string name;
+  for (const char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+        c == '.') {
+      name += c;
+    } else {
+      name += '_';
+    }
+  }
+  if (name.empty() ||
+      std::isalpha(static_cast<unsigned char>(name.front())) == 0) {
+    name = cat("v", id, "_", name);
+  }
+  if (name != raw) renamed = true;
+  while (!used.insert(name).second) {
+    name += cat("_", id);
+    renamed = true;
+  }
+  return name;
+}
+
+std::string coeff(double c, bool leading) {
+  std::string out;
+  if (c < 0) {
+    out += leading ? "- " : " - ";
+  } else {
+    out += leading ? "" : " + ";
+  }
+  const double mag = std::fabs(c);
+  if (mag != 1.0) out += fmt_double(mag, 9) + " ";
+  return out;
+}
+
+/// Emits a (possibly quadratic) expression without its constant part.
+std::string expr_text(const QuadExpr& e,
+                      const std::vector<std::string>& names) {
+  LinExpr lin = e.lin();
+  lin.compress();
+  std::string out;
+  bool leading = true;
+  for (const auto& [id, c] : lin.terms()) {
+    out += coeff(c, leading) + names[static_cast<std::size_t>(id)];
+    leading = false;
+  }
+  if (!e.quad().empty()) {
+    out += leading ? "[ " : " + [ ";
+    bool qlead = true;
+    for (const QuadTerm& t : e.quad()) {
+      out += coeff(t.coeff, qlead) + names[static_cast<std::size_t>(t.a)] +
+             " * " + names[static_cast<std::size_t>(t.b)];
+      qlead = false;
+    }
+    out += " ]";
+    leading = false;
+  }
+  if (leading) out = "0 " + names.front();  // empty expression placeholder
+  return out;
+}
+
+}  // namespace
+
+std::string write_lp_format(const Model& model) {
+  MLSI_ASSERT(model.num_vars() > 0, "cannot export an empty model");
+  std::set<std::string> used;
+  std::vector<std::string> names;
+  bool renamed = false;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    names.push_back(sanitize(model.var(Var{j}).name, j, used, renamed));
+  }
+
+  std::string out = "\\ exported by mlsi::opt (CPLEX LP format)\n";
+  if (renamed) {
+    out += "\\ note: some variable names were sanitized for the LP charset\n";
+  }
+  out += model.minimize() ? "Minimize\n obj: " : "Maximize\n obj: ";
+  out += expr_text(model.objective(), names);
+  const double obj_const = model.objective().lin().constant();
+  if (obj_const != 0.0) {
+    // LP format has no objective constant; encode via a fixed variable.
+    out += cat(obj_const < 0 ? " - " : " + ", fmt_double(std::fabs(obj_const), 9),
+               " one__");
+  }
+  out += "\nSubject To\n";
+  int row_id = 0;
+  for (const Constraint& c : model.constraints()) {
+    const std::string body = expr_text(c.expr, names);
+    const double k = c.expr.lin().constant();
+    const std::string label =
+        c.name.empty() ? cat("c", row_id) : [&] {
+          std::set<std::string> scratch;
+          bool r = false;
+          return sanitize(c.name, row_id, scratch, r);
+        }();
+    ++row_id;
+    const bool has_lo = std::isfinite(c.lo);
+    const bool has_hi = std::isfinite(c.hi);
+    if (has_lo && has_hi && c.lo == c.hi) {
+      out += cat(" ", label, ": ", body, " = ", fmt_double(c.lo - k, 9), "\n");
+    } else {
+      if (has_hi) {
+        out += cat(" ", label, "_u: ", body, " <= ", fmt_double(c.hi - k, 9), "\n");
+      }
+      if (has_lo) {
+        out += cat(" ", label, "_l: ", body, " >= ", fmt_double(c.lo - k, 9), "\n");
+      }
+    }
+  }
+
+  out += "Bounds\n";
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const VarInfo& v = model.var(Var{j});
+    out += cat(" ", fmt_double(v.lb, 9), " <= ", names[static_cast<std::size_t>(j)],
+               " <= ", fmt_double(v.ub, 9), "\n");
+  }
+  if (obj_const != 0.0) out += " one__ = 1\n";
+
+  std::string generals;
+  std::string binaries;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const VarInfo& v = model.var(Var{j});
+    if (v.type == VarType::kBinary) {
+      binaries += cat(" ", names[static_cast<std::size_t>(j)], "\n");
+    } else if (v.type == VarType::kInteger) {
+      generals += cat(" ", names[static_cast<std::size_t>(j)], "\n");
+    }
+  }
+  if (!generals.empty()) out += "Generals\n" + generals;
+  if (!binaries.empty()) out += "Binaries\n" + binaries;
+  out += "End\n";
+  return out;
+}
+
+Status save_lp_format(const std::string& path, const Model& model) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound(cat("cannot open ", path, " for writing"));
+  file << write_lp_format(model);
+  return file.good() ? Status::Ok()
+                     : Status::Internal(cat("short write to ", path));
+}
+
+}  // namespace mlsi::opt

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file lp_format.hpp
+/// \brief CPLEX-LP-format export of optimization models.
+///
+/// The thesis solved its IQP with Gurobi; this repo ships its own solver,
+/// but write_lp_format() lets anyone hand the *exact same model* to Gurobi,
+/// CPLEX, SCIP, HiGHS or glpsol for independent verification:
+///
+///   ./build/tools/mlsi_synth case.json --engine iqp ...   # in-repo solver
+///   // or export and run e.g.:  gurobi_cl model.lp
+///
+/// The writer emits the standard sections (Maximize/Minimize, Subject To,
+/// Bounds, Generals, Binaries) and supports quadratic objective/constraint
+/// terms using the bracket syntax `[ 2 x * y ] / 2`-free form accepted by
+/// Gurobi (`x * y` products inside `[ ... ]`).
+
+#include <string>
+
+#include "opt/model.hpp"
+
+namespace mlsi::opt {
+
+/// Serializes \p model to LP format. Variable names are sanitized to the
+/// LP charset (alnum, '_', '.') and deduplicated; a name map comment is
+/// prepended when any name had to change.
+std::string write_lp_format(const Model& model);
+
+/// Writes write_lp_format(model) to \p path.
+Status save_lp_format(const std::string& path, const Model& model);
+
+}  // namespace mlsi::opt

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file milp.hpp
+/// \brief Exact branch & bound MILP solver over the simplex relaxation.
+///
+/// solve_milp() accepts a (possibly quadratic) Model, linearizes binary
+/// products exactly (see linearize_products), and runs depth-first branch &
+/// bound with most-fractional branching and nearest-integer-first child
+/// ordering. Depth-first keeps memory constant and finds incumbents early;
+/// every incumbent is re-verified against the original model before being
+/// accepted, so a numerically shaky LP can never produce an invalid
+/// "solution".
+
+#include <string>
+#include <vector>
+
+#include "opt/model.hpp"
+#include "opt/simplex.hpp"
+#include "support/timer.hpp"
+
+namespace mlsi::opt {
+
+enum class MilpStatus {
+  kOptimal,     ///< incumbent found and optimality proven
+  kFeasible,    ///< incumbent found, search truncated (time/node limit)
+  kInfeasible,  ///< proven infeasible
+  kUnknown,     ///< search truncated before any incumbent
+};
+
+[[nodiscard]] std::string_view to_string(MilpStatus status);
+
+struct SolveStats {
+  long nodes = 0;
+  long lp_iterations = 0;
+  double runtime_s = 0.0;
+  double root_bound = 0.0;  ///< objective bound from the root relaxation
+};
+
+struct Solution {
+  MilpStatus status = MilpStatus::kUnknown;
+  double objective = 0.0;       ///< incumbent objective (model sense)
+  std::vector<double> values;   ///< incumbent assignment, original ids first
+  SolveStats stats;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == MilpStatus::kOptimal || status == MilpStatus::kFeasible;
+  }
+  /// Value of \p v in the incumbent (0 when no incumbent).
+  [[nodiscard]] double value(Var v) const;
+  /// Incumbent value rounded to the nearest integer.
+  [[nodiscard]] int value_int(Var v) const;
+  /// True when the rounded incumbent value is >= 0.5 (for binaries).
+  [[nodiscard]] bool value_bool(Var v) const { return value(v) >= 0.5; }
+};
+
+struct MilpParams {
+  double time_limit_s = 0.0;  ///< <= 0: unlimited
+  long max_nodes = 50'000'000;
+  double int_tol = 1e-6;
+  /// Nodes whose LP bound is within this of the incumbent are pruned.
+  /// Keep it below the smallest possible objective difference for exact
+  /// optimality (the synthesis objectives are integer-valued scaled sums).
+  double abs_gap = 1e-6;
+  /// Run the presolve reductions (opt/presolve.hpp) before the search.
+  bool presolve = true;
+  LpParams lp;
+  bool log = false;
+};
+
+/// Solves \p model exactly (modulo limits). The model is copied internally;
+/// quadratic binary products are linearized automatically.
+Solution solve_milp(const Model& model, const MilpParams& params = {});
+
+}  // namespace mlsi::opt

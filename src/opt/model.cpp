@@ -1,0 +1,237 @@
+#include "opt/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace mlsi::opt {
+
+LinExpr& LinExpr::add(Var v, double coeff) {
+  MLSI_ASSERT(v.valid(), "LinExpr::add with invalid var");
+  if (coeff != 0.0) terms_.emplace_back(v.id, coeff);
+  return *this;
+}
+
+LinExpr& LinExpr::add_constant(double c) {
+  constant_ += c;
+  return *this;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  for (const auto& [id, c] : other.terms_) terms_.emplace_back(id, -c);
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double scale) {
+  for (auto& [id, c] : terms_) c *= scale;
+  constant_ *= scale;
+  return *this;
+}
+
+void LinExpr::compress() {
+  if (terms_.empty()) return;
+  std::sort(terms_.begin(), terms_.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    int id = terms_[i].first;
+    double sum = 0.0;
+    while (i < terms_.size() && terms_[i].first == id) {
+      sum += terms_[i].second;
+      ++i;
+    }
+    if (sum != 0.0) terms_[out++] = {id, sum};
+  }
+  terms_.resize(out);
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+  double acc = constant_;
+  for (const auto& [id, c] : terms_) {
+    MLSI_ASSERT(id >= 0 && static_cast<std::size_t>(id) < values.size(),
+                "LinExpr references a variable outside the assignment");
+    acc += c * values[static_cast<std::size_t>(id)];
+  }
+  return acc;
+}
+
+QuadExpr& QuadExpr::add_product(Var a, Var b, double coeff) {
+  MLSI_ASSERT(a.valid() && b.valid(), "add_product with invalid var");
+  if (coeff != 0.0) quad_.push_back({std::min(a.id, b.id), std::max(a.id, b.id), coeff});
+  return *this;
+}
+
+QuadExpr& QuadExpr::operator+=(const QuadExpr& other) {
+  lin_ += other.lin_;
+  quad_.insert(quad_.end(), other.quad_.begin(), other.quad_.end());
+  return *this;
+}
+
+QuadExpr& QuadExpr::operator*=(double scale) {
+  lin_ *= scale;
+  for (auto& t : quad_) t.coeff *= scale;
+  return *this;
+}
+
+double QuadExpr::evaluate(const std::vector<double>& values) const {
+  double acc = lin_.evaluate(values);
+  for (const auto& t : quad_) {
+    acc += t.coeff * values[static_cast<std::size_t>(t.a)] *
+           values[static_cast<std::size_t>(t.b)];
+  }
+  return acc;
+}
+
+Var Model::add_var(VarType type, double lb, double ub, std::string name) {
+  MLSI_ASSERT(std::isfinite(lb) && std::isfinite(ub),
+              cat("variable '", name, "' needs finite bounds"));
+  MLSI_ASSERT(lb <= ub, cat("variable '", name, "' has lb > ub"));
+  if (type == VarType::kBinary) {
+    MLSI_ASSERT(lb >= 0.0 && ub <= 1.0, "binary bounds must be within [0,1]");
+  }
+  vars_.push_back(VarInfo{type, lb, ub, std::move(name)});
+  return Var{static_cast<int>(vars_.size()) - 1};
+}
+
+void Model::add_constraint(QuadExpr expr, Sense sense, double rhs,
+                           std::string name) {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (sense) {
+    case Sense::kLe: add_range(std::move(expr), -inf, rhs, std::move(name)); break;
+    case Sense::kGe: add_range(std::move(expr), rhs, inf, std::move(name)); break;
+    case Sense::kEq: add_range(std::move(expr), rhs, rhs, std::move(name)); break;
+  }
+}
+
+void Model::add_range(QuadExpr expr, double lo, double hi, std::string name) {
+  MLSI_ASSERT(lo <= hi, cat("constraint '", name, "' has lo > hi"));
+  constraints_.push_back(Constraint{std::move(expr), lo, hi, std::move(name)});
+}
+
+void Model::set_objective(QuadExpr objective, bool minimize) {
+  objective_ = std::move(objective);
+  minimize_ = minimize;
+}
+
+void Model::set_bounds(Var v, double lb, double ub) {
+  MLSI_ASSERT(v.valid() && v.id < num_vars(), "set_bounds on unknown var");
+  MLSI_ASSERT(lb <= ub, "set_bounds with lb > ub");
+  vars_[static_cast<std::size_t>(v.id)].lb = lb;
+  vars_[static_cast<std::size_t>(v.id)].ub = ub;
+}
+
+void Model::set_branch_priority(Var v, int priority) {
+  MLSI_ASSERT(v.valid() && v.id < num_vars(), "unknown var");
+  vars_[static_cast<std::size_t>(v.id)].branch_priority = priority;
+}
+
+void Model::erase_constraints(const std::vector<char>& keep) {
+  MLSI_ASSERT(keep.size() == constraints_.size(),
+              "erase_constraints flag count mismatch");
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (keep[i] != 0) {
+      if (out != i) constraints_[out] = std::move(constraints_[i]);
+      ++out;
+    }
+  }
+  constraints_.resize(out);
+}
+
+void Model::replace_constraint_expr(int idx, QuadExpr expr) {
+  MLSI_ASSERT(idx >= 0 && idx < num_constraints(),
+              "replace_constraint_expr index out of range");
+  constraints_[static_cast<std::size_t>(idx)].expr = std::move(expr);
+}
+
+const VarInfo& Model::var(Var v) const {
+  MLSI_ASSERT(v.valid() && v.id < num_vars(), "unknown var");
+  return vars_[static_cast<std::size_t>(v.id)];
+}
+
+bool Model::is_linear() const {
+  if (!objective_.is_linear()) return false;
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [](const Constraint& c) { return c.expr.is_linear(); });
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != vars_.size()) return false;
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    const VarInfo& v = vars_[j];
+    if (values[j] < v.lb - tol || values[j] > v.ub + tol) return false;
+    if (v.is_integral() &&
+        std::fabs(values[j] - std::nearbyint(values[j])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    const double val = c.expr.evaluate(values);
+    if (val < c.lo - tol || val > c.hi + tol) return false;
+  }
+  return true;
+}
+
+int linearize_products(Model& model) {
+  // Map each distinct (a, b) binary product to one auxiliary variable.
+  std::map<std::pair<int, int>, Var> aux;
+  const auto substitute = [&](QuadExpr& expr, const std::string& where) {
+    if (expr.is_linear()) return QuadExpr{expr};
+    LinExpr lin = expr.lin();
+    for (const QuadTerm& t : expr.quad()) {
+      const Var va{t.a};
+      const Var vb{t.b};
+      MLSI_ASSERT(model.var(va).type == VarType::kBinary &&
+                      model.var(vb).type == VarType::kBinary,
+                  cat("non-binary product in ", where,
+                      "; only binary products can be linearized"));
+      const std::pair<int, int> key{t.a, t.b};
+      auto it = aux.find(key);
+      if (it == aux.end()) {
+        // w = a*b via McCormick; exact for binaries. w itself can stay
+        // continuous: the three constraints pin it whenever a and b are
+        // integral.
+        const Var w = model.add_continuous(
+            0.0, 1.0, cat("prod_", t.a, "_", t.b));
+        model.add_constraint(LinExpr{w} - LinExpr{va}, Sense::kLe, 0.0,
+                             cat("mc1_", t.a, "_", t.b));
+        model.add_constraint(LinExpr{w} - LinExpr{vb}, Sense::kLe, 0.0,
+                             cat("mc2_", t.a, "_", t.b));
+        LinExpr lower{w};
+        lower -= LinExpr{va};
+        lower -= LinExpr{vb};
+        model.add_constraint(lower, Sense::kGe, -1.0,
+                             cat("mc3_", t.a, "_", t.b));
+        it = aux.emplace(key, w).first;
+      }
+      lin.add(it->second, t.coeff);
+    }
+    return QuadExpr{lin};
+  };
+
+  // Rewrite objective and all constraints in place. Constraints appended by
+  // `substitute` (the McCormick rows) are already linear, so iterating over
+  // the original index range is sufficient. Copies guard against the
+  // constraints vector reallocating while rows are appended.
+  QuadExpr obj = model.objective();
+  model.set_objective(substitute(obj, "objective"), model.minimize());
+  const int n_before = model.num_constraints();
+  for (int i = 0; i < n_before; ++i) {
+    Constraint c = model.constraints()[static_cast<std::size_t>(i)];
+    if (c.expr.is_linear()) continue;
+    model.replace_constraint_expr(
+        i, substitute(c.expr, cat("constraint '", c.name, "'")));
+  }
+  return static_cast<int>(aux.size());
+}
+
+}  // namespace mlsi::opt

@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file model.hpp
+/// \brief Declarative optimization-model builder (the Gurobi-shaped API).
+///
+/// The paper formulates switch synthesis as an integer quadratic program
+/// (IQP) and solves it with Gurobi. Gurobi is proprietary and unavailable
+/// here, so mlsi::opt provides the same modelling surface from scratch:
+/// variables with bounds and types, linear expressions, quadratic
+/// expressions whose products involve binary variables only (that is all
+/// the paper's model needs), linear constraints, and a minimize/maximize
+/// objective. MilpSolver (milp.hpp) solves the linearized model exactly.
+///
+/// All variable bounds must be finite. Synthesis variables are binaries or
+/// small counters, so this costs nothing and buys the simplex a guaranteed
+/// bounded feasible region (no unboundedness handling anywhere).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mlsi::opt {
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+/// Opaque handle to a model variable (index into the model's var table).
+struct Var {
+  int id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+  friend bool operator==(Var a, Var b) { return a.id == b.id; }
+};
+
+/// \brief A linear expression: sum of coeff*var terms plus a constant.
+///
+/// Terms are kept unsorted and possibly duplicated while building;
+/// compress() merges duplicates and drops zeros. The solver compresses on
+/// ingestion, so callers may build expressions naively.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  LinExpr(double constant) : constant_(constant) {}  // NOLINT
+  LinExpr(Var v) { add(v, 1.0); }                    // NOLINT
+
+  LinExpr& add(Var v, double coeff);
+  LinExpr& add_constant(double c);
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double scale);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, double s) { return a *= s; }
+  friend LinExpr operator*(double s, LinExpr a) { return a *= s; }
+
+  /// Merges duplicate variables and removes zero coefficients.
+  void compress();
+
+  [[nodiscard]] const std::vector<std::pair<int, double>>& terms() const {
+    return terms_;
+  }
+  [[nodiscard]] double constant() const { return constant_; }
+
+  /// Evaluates the expression under the given variable assignment.
+  [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+ private:
+  std::vector<std::pair<int, double>> terms_;
+  double constant_ = 0.0;
+};
+
+/// One product term coeff * a * b of a quadratic expression.
+struct QuadTerm {
+  int a = -1;
+  int b = -1;
+  double coeff = 0.0;
+};
+
+/// \brief Linear expression plus binary-product terms.
+class QuadExpr {
+ public:
+  QuadExpr() = default;
+  QuadExpr(LinExpr lin) : lin_(std::move(lin)) {}  // NOLINT
+  QuadExpr(Var v) : lin_(v) {}                     // NOLINT
+
+  QuadExpr& add(Var v, double coeff) {
+    lin_.add(v, coeff);
+    return *this;
+  }
+  QuadExpr& add_product(Var a, Var b, double coeff);
+  QuadExpr& operator+=(const QuadExpr& other);
+  QuadExpr& operator*=(double scale);
+
+  [[nodiscard]] const LinExpr& lin() const { return lin_; }
+  [[nodiscard]] const std::vector<QuadTerm>& quad() const { return quad_; }
+  [[nodiscard]] bool is_linear() const { return quad_.empty(); }
+
+  [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+ private:
+  LinExpr lin_;
+  std::vector<QuadTerm> quad_;
+};
+
+enum class Sense { kLe, kGe, kEq };
+
+/// \brief A stored constraint lo <= expr <= hi (senses normalized to a range).
+struct Constraint {
+  QuadExpr expr;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::string name;
+};
+
+/// Variable record.
+struct VarInfo {
+  VarType type = VarType::kContinuous;
+  double lb = 0.0;
+  double ub = 0.0;
+  std::string name;
+  /// Branch & bound picks fractional variables of the highest priority
+  /// first (most-fractional within a priority class). Lets structured
+  /// models branch on their "decision" variables before the derived ones.
+  int branch_priority = 0;
+  [[nodiscard]] bool is_integral() const { return type != VarType::kContinuous; }
+};
+
+/// \brief The optimization model under construction.
+class Model {
+ public:
+  /// Adds a variable. Bounds must be finite with lb <= ub.
+  Var add_var(VarType type, double lb, double ub, std::string name);
+  Var add_binary(std::string name) {
+    return add_var(VarType::kBinary, 0.0, 1.0, std::move(name));
+  }
+  Var add_integer(double lb, double ub, std::string name) {
+    return add_var(VarType::kInteger, lb, ub, std::move(name));
+  }
+  Var add_continuous(double lb, double ub, std::string name) {
+    return add_var(VarType::kContinuous, lb, ub, std::move(name));
+  }
+
+  /// Adds `expr <sense> rhs`.
+  void add_constraint(QuadExpr expr, Sense sense, double rhs,
+                      std::string name = {});
+  /// Adds `lo <= expr <= hi`.
+  void add_range(QuadExpr expr, double lo, double hi, std::string name = {});
+
+  /// Sets the objective (replaces any previous one).
+  void set_objective(QuadExpr objective, bool minimize = true);
+
+  /// Tightens a variable's bounds (used by branch & bound).
+  void set_bounds(Var v, double lb, double ub);
+
+  /// Replaces the expression of constraint \p idx (used by the linearizer).
+  void replace_constraint_expr(int idx, QuadExpr expr);
+
+  /// Sets the branch priority of \p v (see VarInfo::branch_priority).
+  void set_branch_priority(Var v, int priority);
+
+  /// Drops every constraint whose keep flag is 0 (used by presolve).
+  /// \p keep must have one entry per constraint.
+  void erase_constraints(const std::vector<char>& keep);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const VarInfo& var(Var v) const;
+  [[nodiscard]] const std::vector<VarInfo>& vars() const { return vars_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const QuadExpr& objective() const { return objective_; }
+  [[nodiscard]] bool minimize() const { return minimize_; }
+
+  /// True when objective and all constraints are purely linear.
+  [[nodiscard]] bool is_linear() const;
+
+  /// Checks a full assignment against all constraints, bounds and
+  /// integrality with tolerance \p tol. Used by tests and by the solver's
+  /// final self-check.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& values,
+                                 double tol = 1e-6) const;
+
+ private:
+  std::vector<VarInfo> vars_;
+  std::vector<Constraint> constraints_;
+  QuadExpr objective_;
+  bool minimize_ = true;
+};
+
+/// \brief Rewrites every binary product in \p model into an auxiliary
+/// variable with exact McCormick constraints (w <= a, w <= b, w >= a+b-1).
+///
+/// Requires both factors of every product to be binary (asserted). Returns
+/// the number of auxiliary variables introduced. Original variables keep
+/// their ids, so solutions of the linearized model restrict to solutions of
+/// the original model on the original id range.
+int linearize_products(Model& model);
+
+}  // namespace mlsi::opt

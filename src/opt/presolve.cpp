@@ -1,0 +1,153 @@
+#include "opt/presolve.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/status.hpp"
+
+namespace mlsi::opt {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct WorkRow {
+  std::vector<std::pair<int, double>> terms;
+  double lo;
+  double hi;
+  bool removed = false;
+};
+
+}  // namespace
+
+PresolveStats presolve(Model& model) {
+  MLSI_ASSERT(model.is_linear(), "presolve requires a linearized model");
+  PresolveStats stats;
+  const int n = model.num_vars();
+
+  std::vector<double> lb(static_cast<std::size_t>(n));
+  std::vector<double> ub(static_cast<std::size_t>(n));
+  std::vector<char> integral(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const VarInfo& v = model.var(Var{j});
+    lb[static_cast<std::size_t>(j)] = v.lb;
+    ub[static_cast<std::size_t>(j)] = v.ub;
+    integral[static_cast<std::size_t>(j)] = v.is_integral() ? 1 : 0;
+  }
+
+  std::vector<WorkRow> rows;
+  rows.reserve(model.constraints().size());
+  for (const Constraint& c : model.constraints()) {
+    LinExpr e = c.expr.lin();
+    e.compress();
+    rows.push_back(WorkRow{e.terms(), c.lo - e.constant(),
+                           c.hi - e.constant(), false});
+  }
+
+  const auto clamp_integral = [&](int j) {
+    if (integral[static_cast<std::size_t>(j)] != 0) {
+      lb[static_cast<std::size_t>(j)] =
+          std::ceil(lb[static_cast<std::size_t>(j)] - 1e-7);
+      ub[static_cast<std::size_t>(j)] =
+          std::floor(ub[static_cast<std::size_t>(j)] + 1e-7);
+    }
+  };
+  for (int j = 0; j < n; ++j) clamp_integral(j);
+
+  bool changed = true;
+  while (changed && stats.iterations < 25) {
+    changed = false;
+    ++stats.iterations;
+    for (WorkRow& row : rows) {
+      if (row.removed) continue;
+      // Activity range under current bounds.
+      double act_lo = 0.0;
+      double act_hi = 0.0;
+      for (const auto& [j, a] : row.terms) {
+        if (a >= 0) {
+          act_lo += a * lb[static_cast<std::size_t>(j)];
+          act_hi += a * ub[static_cast<std::size_t>(j)];
+        } else {
+          act_lo += a * ub[static_cast<std::size_t>(j)];
+          act_hi += a * lb[static_cast<std::size_t>(j)];
+        }
+      }
+      if (act_lo > row.hi + kTol || act_hi < row.lo - kTol) {
+        stats.proven_infeasible = true;
+        return stats;
+      }
+      if (act_lo >= row.lo - kTol && act_hi <= row.hi + kTol) {
+        row.removed = true;  // redundant under the bounds
+        ++stats.rows_removed;
+        changed = true;
+        continue;
+      }
+      // Per-variable tightening from the residual activity.
+      for (const auto& [j, a] : row.terms) {
+        const std::size_t js = static_cast<std::size_t>(j);
+        const double contrib_lo = a >= 0 ? a * lb[js] : a * ub[js];
+        const double contrib_hi = a >= 0 ? a * ub[js] : a * lb[js];
+        const double rest_lo = act_lo - contrib_lo;
+        const double rest_hi = act_hi - contrib_hi;
+        // a*x in [row.lo - rest_hi, row.hi - rest_lo].
+        double t_lo = (row.lo - rest_hi);
+        double t_hi = (row.hi - rest_lo);
+        double new_lb = lb[js];
+        double new_ub = ub[js];
+        if (std::isfinite(t_hi)) {
+          if (a > 0) {
+            new_ub = std::min(new_ub, t_hi / a);
+          } else {
+            new_lb = std::max(new_lb, t_hi / a);
+          }
+        }
+        if (std::isfinite(t_lo)) {
+          if (a > 0) {
+            new_lb = std::max(new_lb, t_lo / a);
+          } else {
+            new_ub = std::min(new_ub, t_lo / a);
+          }
+        }
+        if (integral[js] != 0) {
+          new_lb = std::ceil(new_lb - 1e-7);
+          new_ub = std::floor(new_ub + 1e-7);
+        }
+        if (new_lb > lb[js] + kTol || new_ub < ub[js] - kTol) {
+          if (new_lb > new_ub + kTol) {
+            stats.proven_infeasible = true;
+            return stats;
+          }
+          lb[js] = std::max(lb[js], new_lb);
+          ub[js] = std::min(ub[js], std::max(new_ub, lb[js]));
+          ++stats.bound_tightenings;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Write the reductions back into the model.
+  for (int j = 0; j < n; ++j) {
+    const VarInfo& v = model.var(Var{j});
+    if (lb[static_cast<std::size_t>(j)] > v.lb + kTol ||
+        ub[static_cast<std::size_t>(j)] < v.ub - kTol) {
+      model.set_bounds(Var{j}, lb[static_cast<std::size_t>(j)],
+                       ub[static_cast<std::size_t>(j)]);
+    }
+    if (lb[static_cast<std::size_t>(j)] >=
+        ub[static_cast<std::size_t>(j)] - kTol) {
+      ++stats.vars_fixed;
+    }
+  }
+  std::vector<char> keep(rows.size(), 1);
+  bool any_removed = false;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].removed) {
+      keep[r] = 0;
+      any_removed = true;
+    }
+  }
+  if (any_removed) model.erase_constraints(keep);
+  return stats;
+}
+
+}  // namespace mlsi::opt

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file presolve.hpp
+/// \brief Presolve reductions for MILP models.
+///
+/// Applied by solve_milp before branch & bound (and available standalone):
+///  * **activity-based bound tightening** — for every row, the residual
+///    activity range implies tighter bounds on each variable; integer
+///    bounds additionally round inward. Iterated to a fixed point.
+///  * **row removal** — rows proven redundant by their activity range
+///    disappear; rows proven unsatisfiable report infeasibility early.
+///  * **fixed-variable detection** — lb == ub after tightening.
+///
+/// The reductions are sound for the *integer* model (they only ever cut LP
+/// relaxation space and never an integer-feasible point), so optima are
+/// preserved exactly.
+
+#include "opt/model.hpp"
+
+namespace mlsi::opt {
+
+struct PresolveStats {
+  int bound_tightenings = 0;
+  int rows_removed = 0;
+  int vars_fixed = 0;
+  int iterations = 0;
+  bool proven_infeasible = false;
+};
+
+/// Tightens \p model in place. The model must be linear (run
+/// linearize_products first). Returns the applied reductions;
+/// stats.proven_infeasible short-circuits the solve.
+PresolveStats presolve(Model& model);
+
+}  // namespace mlsi::opt

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file simplex.hpp
+/// \brief Bounded-variable two-phase primal simplex for LP relaxations.
+///
+/// Scope: the LPs arising from linearized switch-synthesis models. All
+/// structural variables carry finite bounds (Model enforces this), which
+/// removes unboundedness from the method entirely: every ratio test is
+/// blocked either by a basic variable's bound or by the entering variable's
+/// own bound span.
+///
+/// Method: dense tableau over [A | -I] with one slack per row
+/// (a_r·x - s_r = 0, slack bounds = row bounds clipped to the row's
+/// activity range). Phase 1 minimizes the sum of primal infeasibilities
+/// with dynamically recomputed gradient costs and short-step blocking;
+/// Phase 2 runs Dantzig pricing with a pivoted reduced-cost row. Bland's
+/// rule engages after a stall to guarantee termination; basic values are
+/// refreshed from nonbasic bounds periodically to cap drift.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace mlsi::opt {
+
+/// One LP row: lo <= sum(terms) <= hi (either bound may be infinite).
+struct LpRow {
+  std::vector<std::pair<int, double>> terms;  ///< (column, coefficient)
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// LP in natural form: minimize cost·x + cost_constant over box + rows.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> lb;    ///< size num_vars, finite
+  std::vector<double> ub;    ///< size num_vars, finite
+  std::vector<double> cost;  ///< size num_vars
+  double cost_constant = 0.0;
+  std::vector<LpRow> rows;
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kIterLimit,  ///< max_iters or deadline hit before convergence
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;       ///< includes cost_constant (valid when optimal)
+  std::vector<double> x;        ///< structural values (valid when optimal)
+  /// Final basis (one column id per row); feed back via LpParams::warm_basis
+  /// to warm-start a re-solve after bound changes (branch & bound children).
+  std::vector<int> basis;
+  long iterations = 0;
+};
+
+struct LpParams {
+  double feas_tol = 1e-7;
+  double opt_tol = 1e-7;
+  long max_iters = 500000;
+  /// Iterations without objective progress before switching to Bland's rule.
+  int stall_limit = 256;
+  Deadline deadline;  ///< unlimited by default
+  /// Optional starting basis (size = #rows, entries are column ids as in
+  /// LpResult::basis). The basis matrix is independent of variable bounds,
+  /// so a parent node's basis is always valid for a child; phase 1 then
+  /// usually needs only a handful of pivots. Invalid input falls back to
+  /// the slack basis.
+  const std::vector<int>* warm_basis = nullptr;
+};
+
+/// Solves \p lp. Deterministic for a given input.
+LpResult solve_lp(const LpProblem& lp, const LpParams& params = {});
+
+}  // namespace mlsi::opt

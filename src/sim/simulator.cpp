@@ -1,0 +1,371 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace mlsi::sim {
+namespace {
+
+using synth::RoutedFlow;
+using synth::ValveState;
+
+int intersection_size(const std::vector<int>& a, const std::vector<int>& b) {
+  int n = 0;
+  for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+    if (a[i] == b[j]) {
+      ++n;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Index of segment \p seg in the kept-valve list, or -1.
+int valve_index(const synth::ValveSchedule& valves, int seg) {
+  const auto it = std::lower_bound(valves.valve_segments.begin(),
+                                   valves.valve_segments.end(), seg);
+  if (it == valves.valve_segments.end() || *it != seg) return -1;
+  return static_cast<int>(it - valves.valve_segments.begin());
+}
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  return cat(ok() ? "OK" : "FAIL", " (undelivered=", undelivered,
+             ", collisions=", collisions, ", misdeliveries=", misdeliveries,
+             ", contaminations=", contaminations, ", warnings=",
+             warnings.size(), ")");
+}
+
+SwitchProgram make_program(const arch::SwitchTopology& topo,
+                           const synth::ProblemSpec& spec,
+                           const synth::SynthesisResult& result) {
+  SwitchProgram p;
+  p.topo = &topo;
+  p.spec = &spec;
+  p.routed = result.routed;
+  p.binding = result.binding;
+  p.num_sets = result.num_sets;
+  p.used_segments = result.used_segments;
+  p.valves.valve_segments = result.essential_valves;
+  p.valves.states = result.valve_states;
+  return p;
+}
+
+WetRegion flood(const SwitchProgram& program, int set, int inlet_pin_vertex) {
+  const arch::SwitchTopology& topo = *program.topo;
+  const std::set<int> used(program.used_segments.begin(),
+                           program.used_segments.end());
+
+  const auto segment_open = [&](int seg) {
+    if (used.count(seg) == 0) return false;  // segment removed entirely
+    const int vi = valve_index(program.valves, seg);
+    if (vi < 0) return true;  // no valve kept here: permanently open
+    MLSI_ASSERT(set < static_cast<int>(program.valves.states.size()),
+                "valve states missing for set");
+    return program.valves.states[static_cast<std::size_t>(set)]
+                               [static_cast<std::size_t>(vi)] ==
+           ValveState::kOpen;
+  };
+
+  std::set<int> wet_vertices;
+  std::set<int> wet_segments;
+  std::queue<int> frontier;
+  wet_vertices.insert(inlet_pin_vertex);
+  frontier.push(inlet_pin_vertex);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (const int sid : topo.incident(v)) {
+      if (!segment_open(sid)) continue;
+      wet_segments.insert(sid);
+      const int o = topo.segment(sid).other(v);
+      if (wet_vertices.insert(o).second) frontier.push(o);
+    }
+  }
+  WetRegion region;
+  region.vertices.assign(wet_vertices.begin(), wet_vertices.end());
+  region.segments.assign(wet_segments.begin(), wet_segments.end());
+  return region;
+}
+
+ValidationReport validate(const SwitchProgram& program) {
+  ValidationReport report;
+  const arch::SwitchTopology& topo = *program.topo;
+  const synth::ProblemSpec& spec = *program.spec;
+
+  const auto fail = [&report](std::string msg) {
+    report.errors.push_back(std::move(msg));
+  };
+
+  // --- structural checks ----------------------------------------------------
+  if (static_cast<int>(program.routed.size()) != spec.num_flows()) {
+    fail("routed flow count disagrees with the spec");
+    return report;
+  }
+  const std::set<int> used(program.used_segments.begin(),
+                           program.used_segments.end());
+  for (const RoutedFlow& rf : program.routed) {
+    const synth::FlowSpec& fs = spec.flows[static_cast<std::size_t>(rf.flow)];
+    if (rf.set < 0 || rf.set >= program.num_sets) {
+      fail(cat("flow ", rf.flow, " scheduled in out-of-range set ", rf.set));
+      continue;
+    }
+    if (rf.path.vertices.size() != rf.path.segments.size() + 1 ||
+        rf.path.vertices.empty()) {
+      fail(cat("flow ", rf.flow, " has a malformed path"));
+      continue;
+    }
+    // Path must be a connected chain of existing segments.
+    for (std::size_t i = 0; i < rf.path.segments.size(); ++i) {
+      const arch::Segment& seg = topo.segment(rf.path.segments[i]);
+      const int va = rf.path.vertices[i];
+      const int vb = rf.path.vertices[i + 1];
+      if (!(seg.touches(va) && seg.touches(vb))) {
+        fail(cat("flow ", rf.flow, " path breaks at segment ", seg.name));
+      }
+      if (used.count(seg.id) == 0) {
+        fail(cat("flow ", rf.flow, " uses removed segment ", seg.name));
+      }
+    }
+    // Endpoints must be the bound pins of the flow's modules.
+    if (program.binding[static_cast<std::size_t>(fs.src_module)] !=
+        rf.path.from_pin) {
+      fail(cat("flow ", rf.flow, " does not start at its inlet module's pin"));
+    }
+    if (program.binding[static_cast<std::size_t>(fs.dst_module)] !=
+        rf.path.to_pin) {
+      fail(cat("flow ", rf.flow, " does not end at its outlet module's pin"));
+    }
+  }
+  // Binding must be injective over bound modules.
+  {
+    std::set<int> seen;
+    for (const int pin : program.binding) {
+      if (pin < 0) continue;
+      if (!seen.insert(pin).second) fail("two modules share one pin");
+    }
+  }
+  if (!report.errors.empty()) return report;  // physics needs structure
+
+  // --- flood simulation per set ----------------------------------------------
+  // Fluid identity = inlet module. residue[m] accumulates across sets.
+  std::map<int, WetRegion> residue_by_inlet;
+  // outlet pins a fluid may legitimately reach, per inlet module.
+  std::map<int, std::set<int>> allowed_pins_any_set;
+  std::map<std::pair<int, int>, std::set<int>> expected_outlets;  // (m, set)
+  for (const RoutedFlow& rf : program.routed) {
+    const synth::FlowSpec& fs = spec.flows[static_cast<std::size_t>(rf.flow)];
+    allowed_pins_any_set[fs.src_module].insert(rf.path.to_pin);
+    expected_outlets[{fs.src_module, rf.set}].insert(rf.path.to_pin);
+  }
+
+  for (int s = 0; s < program.num_sets; ++s) {
+    // Active inlets of this set.
+    std::map<int, WetRegion> regions;  // inlet module -> wet region
+    for (const auto& [key, outs] : expected_outlets) {
+      (void)outs;
+      if (key.second != s) continue;
+      const int m = key.first;
+      const int pin = program.binding[static_cast<std::size_t>(m)];
+      regions.emplace(m, flood(program, s, pin));
+    }
+
+    // Delivery + misdelivery.
+    for (const auto& [m, region] : regions) {
+      const auto& expect = expected_outlets[{m, s}];
+      for (const int out : expect) {
+        if (!std::binary_search(region.vertices.begin(), region.vertices.end(),
+                                out)) {
+          ++report.undelivered;
+          fail(cat("set ", s, ": fluid of inlet ",
+                   spec.modules[static_cast<std::size_t>(m)],
+                   " does not reach outlet pin ", topo.vertex(out).name));
+        }
+      }
+      const int own_pin = program.binding[static_cast<std::size_t>(m)];
+      for (const int v : region.vertices) {
+        if (topo.vertex(v).kind != arch::VertexKind::kPin || v == own_pin) {
+          continue;
+        }
+        if (expect.count(v) != 0) continue;
+        if (allowed_pins_any_set[m].count(v) != 0) {
+          report.warnings.push_back(
+              cat("set ", s, ": fluid of inlet ",
+                  spec.modules[static_cast<std::size_t>(m)],
+                  " reaches its outlet pin ", topo.vertex(v).name,
+                  " ahead of schedule"));
+        } else {
+          ++report.misdeliveries;
+          fail(cat("set ", s, ": fluid of inlet ",
+                   spec.modules[static_cast<std::size_t>(m)],
+                   " leaks to foreign pin ", topo.vertex(v).name));
+        }
+      }
+    }
+
+    // Cross-inlet collisions within the set.
+    for (auto it1 = regions.begin(); it1 != regions.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != regions.end(); ++it2) {
+        const int meets =
+            intersection_size(it1->second.vertices, it2->second.vertices) +
+            intersection_size(it1->second.segments, it2->second.segments);
+        if (meets > 0) {
+          report.collisions += meets;
+          fail(cat("set ", s, ": fluids of inlets ",
+                   spec.modules[static_cast<std::size_t>(it1->first)], " and ",
+                   spec.modules[static_cast<std::size_t>(it2->first)],
+                   " meet at ", meets, " places"));
+        }
+      }
+    }
+
+    // Accumulate residues.
+    for (const auto& [m, region] : regions) {
+      WetRegion& acc = residue_by_inlet[m];
+      std::vector<int> merged;
+      std::set_union(acc.vertices.begin(), acc.vertices.end(),
+                     region.vertices.begin(), region.vertices.end(),
+                     std::back_inserter(merged));
+      acc.vertices = std::move(merged);
+      merged.clear();
+      std::set_union(acc.segments.begin(), acc.segments.end(),
+                     region.segments.begin(), region.segments.end(),
+                     std::back_inserter(merged));
+      acc.segments = std::move(merged);
+    }
+  }
+
+  // --- contamination across sets ---------------------------------------------
+  for (const auto& [m1, m2] : spec.conflicting_inlet_modules()) {
+    const auto it1 = residue_by_inlet.find(m1);
+    const auto it2 = residue_by_inlet.find(m2);
+    if (it1 == residue_by_inlet.end() || it2 == residue_by_inlet.end()) continue;
+    const int overlap =
+        intersection_size(it1->second.vertices, it2->second.vertices) +
+        intersection_size(it1->second.segments, it2->second.segments);
+    if (overlap > 0) {
+      report.contaminations += overlap;
+      fail(cat("conflicting reagents of inlets ",
+               spec.modules[static_cast<std::size_t>(m1)], " and ",
+               spec.modules[static_cast<std::size_t>(m2)],
+               " share ", overlap, " channel elements"));
+    }
+  }
+  return report;
+}
+
+std::vector<int> reduce_valves_strict(
+    const arch::SwitchTopology& topo, const synth::ProblemSpec& spec,
+    const std::vector<synth::RoutedFlow>& routed,
+    const std::vector<int>& binding, int num_sets,
+    const std::vector<int>& used_segments) {
+  // Candidate valves: every used segment that structurally carries one.
+  std::vector<int> kept;
+  for (const int s : used_segments) {
+    if (topo.segment(s).has_valve) kept.push_back(s);
+  }
+
+  SwitchProgram program;
+  program.topo = &topo;
+  program.spec = &spec;
+  program.routed = routed;
+  program.binding = binding;
+  program.num_sets = num_sets;
+  program.used_segments = used_segments;
+
+  const auto passes = [&](const std::vector<int>& valves) {
+    program.valves =
+        synth::derive_valve_states(topo, routed, num_sets, valves);
+    return validate(program).ok();
+  };
+  if (!passes(kept)) {
+    // The routing itself is unsound even with every valve in place; no
+    // reduction can fix that. Keep everything and let the caller's
+    // validation surface the errors.
+    return kept;
+  }
+
+  for (std::size_t i = 0; i < kept.size();) {
+    std::vector<int> trial = kept;
+    trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+    if (passes(trial)) {
+      kept = std::move(trial);  // removal is safe; retry same index
+    } else {
+      ++i;
+    }
+  }
+  return kept;
+}
+
+std::string_view to_string(HardeningLevel level) {
+  switch (level) {
+    case HardeningLevel::kPaperRule: return "paper-rule";
+    case HardeningLevel::kStrictRule: return "strict-rule";
+    case HardeningLevel::kAllValves: return "all-valves";
+  }
+  return "?";
+}
+
+HardeningOutcome harden(const arch::SwitchTopology& topo,
+                        const synth::ProblemSpec& spec,
+                        synth::SynthesisResult& result,
+                        synth::PressureMode pressure_mode) {
+  const auto install = [&](std::vector<int> valves) {
+    const synth::ValveSchedule sched = synth::derive_valve_states(
+        topo, result.routed, result.num_sets, std::move(valves));
+    result.essential_valves = sched.valve_segments;
+    result.valve_states = sched.states;
+    const auto compat = synth::valve_compatibility(result.valve_states);
+    const synth::PressureGroups groups =
+        pressure_mode == synth::PressureMode::kGreedy
+            ? synth::pressure_groups_greedy(compat)
+            : synth::pressure_groups_ilp(compat);
+    if (pressure_mode == synth::PressureMode::kOff) {
+      result.pressure_group.resize(result.essential_valves.size());
+      for (std::size_t i = 0; i < result.pressure_group.size(); ++i) {
+        result.pressure_group[i] = static_cast<int>(i);
+      }
+      result.num_pressure_groups =
+          static_cast<int>(result.pressure_group.size());
+    } else {
+      result.pressure_group = groups.group;
+      result.num_pressure_groups = groups.num_groups;
+    }
+  };
+
+  HardeningOutcome outcome;
+  outcome.report = validate(make_program(topo, spec, result));
+  if (outcome.report.ok()) {
+    outcome.level = HardeningLevel::kPaperRule;
+    return outcome;
+  }
+
+  install(reduce_valves_strict(topo, spec, result.routed, result.binding,
+                               result.num_sets, result.used_segments));
+  outcome.report = validate(make_program(topo, spec, result));
+  if (outcome.report.ok()) {
+    outcome.level = HardeningLevel::kStrictRule;
+    return outcome;
+  }
+
+  std::vector<int> all;
+  for (const int s : result.used_segments) {
+    if (topo.segment(s).has_valve) all.push_back(s);
+  }
+  install(std::move(all));
+  outcome.report = validate(make_program(topo, spec, result));
+  outcome.level = HardeningLevel::kAllValves;
+  return outcome;
+}
+
+}  // namespace mlsi::sim

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file simulator.hpp
+/// \brief Fluid-flood simulation and end-to-end validation of a synthesized
+/// switch.
+///
+/// The synthesis engines enforce the paper's *constraints*; this module
+/// independently checks the *physics* those constraints are meant to
+/// guarantee. For every flow set it floods each active inlet's fluid from
+/// its pin through every segment that exists in the reduced switch and is
+/// not blocked by a closed valve, then verifies:
+///
+///  * delivery   — each flow's fluid reaches its outlet pin in its set;
+///  * collision  — fluids of two inlets never meet (share a segment or
+///                 vertex) within a set; a meet means valve states cannot
+///                 steer the flows ("flows might be routed into wrong flow
+///                 channels", Section 2.1);
+///  * misdelivery— fluid never reaches a pin of an unrelated module
+///                 (reaching one of its own later outlets is only a
+///                 warning: early arrival of the right reagent);
+///  * contamination — residues (everything a fluid ever wetted, across all
+///                 sets) of conflicting reagents never overlap.
+///
+/// The same checks run on the spine baseline, where they *count* the events
+/// the paper describes qualitatively in Figures 4.1(d)/4.2(c,d).
+
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "synth/result.hpp"
+#include "synth/spec.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/valves.hpp"
+
+namespace mlsi::sim {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  /// Event counters (independent of error strings, for baseline tables).
+  int undelivered = 0;     ///< flows whose fluid missed their outlet
+  int collisions = 0;      ///< same-set cross-inlet meets (vertex/segment)
+  int misdeliveries = 0;   ///< fluid at a foreign pin
+  int contaminations = 0;  ///< conflicting-residue overlaps (vertex/segment)
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// A fully specified, simulatable switch configuration. Build one from a
+/// SynthesisResult with make_program(), or assemble directly (the spine
+/// baseline does).
+struct SwitchProgram {
+  const arch::SwitchTopology* topo = nullptr;
+  const synth::ProblemSpec* spec = nullptr;
+  std::vector<synth::RoutedFlow> routed;  ///< in spec flow order
+  std::vector<int> binding;               ///< module -> pin vertex id
+  int num_sets = 0;
+  std::vector<int> used_segments;         ///< segments kept in the switch
+  /// Valve-carrying segments that *kept* their valve, with per-set states;
+  /// every other used segment is permanently open.
+  synth::ValveSchedule valves;
+};
+
+/// Assembles the program encoded in \p result.
+SwitchProgram make_program(const arch::SwitchTopology& topo,
+                           const synth::ProblemSpec& spec,
+                           const synth::SynthesisResult& result);
+
+/// Runs the flood simulation and all checks.
+ValidationReport validate(const SwitchProgram& program);
+
+/// Region wetted by fluid from \p inlet_pin_vertex in \p set (sorted vertex
+/// ids and sorted segment ids). Exposed for tests and diagnostics.
+struct WetRegion {
+  std::vector<int> vertices;
+  std::vector<int> segments;
+};
+WetRegion flood(const SwitchProgram& program, int set, int inlet_pin_vertex);
+
+/// Strict semantic valve reduction (ablation counterpart of
+/// synth::essential_valves_paper): starting from every valved used segment,
+/// greedily removes valves — ascending segment id — keeping a removal only
+/// if validate() still reports zero errors with states re-derived for the
+/// remaining valves. Always sound by construction.
+std::vector<int> reduce_valves_strict(const arch::SwitchTopology& topo,
+                                      const synth::ProblemSpec& spec,
+                                      const std::vector<synth::RoutedFlow>& routed,
+                                      const std::vector<int>& binding,
+                                      int num_sets,
+                                      const std::vector<int>& used_segments);
+
+/// Which valve-reduction rule a hardened result ended up using.
+enum class HardeningLevel {
+  kPaperRule,   ///< the paper's aggregate rule already validates
+  kStrictRule,  ///< escalated to the semantic (simulation-checked) reduction
+  kAllValves,   ///< kept every valve (always sound)
+};
+
+[[nodiscard]] std::string_view to_string(HardeningLevel level);
+
+struct HardeningOutcome {
+  HardeningLevel level = HardeningLevel::kPaperRule;
+  ValidationReport report;  ///< report of the final configuration
+};
+
+/// Validates \p result; when the flood simulation finds errors (the paper's
+/// aggregate reduction is not always sound — a removed valve can let one
+/// set's fluid seep into a conflicting flow's channel), escalates the valve
+/// reduction to the strict rule and, failing that, keeps every valve.
+/// Rewrites essential_valves, valve_states and the pressure groups in place.
+HardeningOutcome harden(const arch::SwitchTopology& topo,
+                        const synth::ProblemSpec& spec,
+                        synth::SynthesisResult& result,
+                        synth::PressureMode pressure_mode =
+                            synth::PressureMode::kIlp);
+
+}  // namespace mlsi::sim

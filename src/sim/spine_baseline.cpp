@@ -1,0 +1,93 @@
+#include "sim/spine_baseline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "arch/paths.hpp"
+#include "synth/valves.hpp"
+
+namespace mlsi::sim {
+
+SpineBaseline route_on_spine(const synth::ProblemSpec& spec,
+                             SpineSchedule schedule,
+                             const arch::SpineGeometry& geometry) {
+  MLSI_ASSERT(spec.validate().ok(), "route_on_spine needs a valid spec");
+  SpineBaseline out;
+  out.topo = std::make_unique<arch::SwitchTopology>(
+      arch::make_spine(spec.num_modules(), geometry));
+  out.spec = std::make_unique<synth::ProblemSpec>(spec);
+  const arch::SwitchTopology& topo = *out.topo;
+
+  // Bind inlets first (top row fills first in clockwise pin order), then
+  // outlets — mirrors the Columba drawings where samples enter one side.
+  std::vector<int> binding(static_cast<std::size_t>(spec.num_modules()), -1);
+  int next_pin = 0;
+  for (int m = 0; m < spec.num_modules(); ++m) {
+    if (spec.is_inlet(m)) {
+      binding[static_cast<std::size_t>(m)] =
+          topo.pins_clockwise()[static_cast<std::size_t>(next_pin++)];
+    }
+  }
+  for (int m = 0; m < spec.num_modules(); ++m) {
+    if (!spec.is_inlet(m)) {
+      binding[static_cast<std::size_t>(m)] =
+          topo.pins_clockwise()[static_cast<std::size_t>(next_pin++)];
+    }
+  }
+
+  // The spine is a tree: exactly one path per pin pair.
+  const arch::PathSet paths = arch::enumerate_paths(topo);
+
+  // Schedule: one step for everything, or one step per inlet module in
+  // module order.
+  std::map<int, int> step_of_inlet;
+  if (schedule == SpineSchedule::kSequential) {
+    for (const synth::FlowSpec& f : spec.flows) {
+      step_of_inlet.emplace(f.src_module,
+                            static_cast<int>(step_of_inlet.size()));
+    }
+  }
+
+  SwitchProgram& program = out.program;
+  program.topo = out.topo.get();
+  program.spec = out.spec.get();
+  program.binding = binding;
+  program.num_sets = schedule == SpineSchedule::kParallel
+                         ? 1
+                         : std::max<int>(1, static_cast<int>(step_of_inlet.size()));
+  for (int i = 0; i < spec.num_flows(); ++i) {
+    const synth::FlowSpec& f = spec.flows[static_cast<std::size_t>(i)];
+    const auto& ids =
+        paths.between(binding[static_cast<std::size_t>(f.src_module)],
+                      binding[static_cast<std::size_t>(f.dst_module)]);
+    MLSI_ASSERT(ids.size() == 1, "spine must have a unique path per pair");
+    synth::RoutedFlow rf;
+    rf.flow = i;
+    rf.set = schedule == SpineSchedule::kParallel
+                 ? 0
+                 : step_of_inlet.at(f.src_module);
+    rf.path = paths.path(ids.front());
+    program.routed.push_back(std::move(rf));
+  }
+  program.used_segments = synth::union_segments(program.routed);
+  // The interior spine segments always exist in the fabricated switch (the
+  // module is one prefabricated block), and carry no valves; include them.
+  for (const arch::Segment& s : topo.segments()) {
+    if (!s.has_valve &&
+        !std::binary_search(program.used_segments.begin(),
+                            program.used_segments.end(), s.id)) {
+      program.used_segments.push_back(s.id);
+    }
+  }
+  std::sort(program.used_segments.begin(), program.used_segments.end());
+  // Valves exist only on the used stubs.
+  std::vector<int> valved;
+  for (const int sid : program.used_segments) {
+    if (topo.segment(sid).has_valve) valved.push_back(sid);
+  }
+  program.valves = synth::derive_valve_states(topo, program.routed,
+                                              program.num_sets, valved);
+  return out;
+}
+
+}  // namespace mlsi::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file spine_baseline.hpp
+/// \brief Routes a switch case onto the Columba-style spine baseline.
+///
+/// The paper compares its crossbar against the spine-with-junctions switch
+/// of Columba / Columba 2.0 / Columba S (Figures 4.1(d), 4.2(c), 4.2(d))
+/// and argues two failure modes:
+///  * conflicting flows cannot avoid the shared spine segments
+///    (contamination), and
+///  * with no valves along the spine, parallel flows leak into each other's
+///    outlets (collision / misrouting).
+/// This helper reproduces the baseline: it builds a spine with one pin per
+/// module, binds inlets to the top row and outlets to the bottom row, routes
+/// every flow on its unique spine path, and schedules either everything in
+/// parallel (Columba routes flows concurrently) or one inlet per step.
+/// The standard validator then *counts* the failure events.
+
+#include <memory>
+
+#include "arch/spine.hpp"
+#include "sim/simulator.hpp"
+
+namespace mlsi::sim {
+
+enum class SpineSchedule {
+  kParallel,    ///< all flows in one step (exposes collisions/misrouting)
+  kSequential,  ///< one inlet per step (isolates the contamination effect)
+};
+
+/// A routed baseline: owns its topology; `program` references both members,
+/// so move-only and stable after construction.
+struct SpineBaseline {
+  std::unique_ptr<arch::SwitchTopology> topo;
+  std::unique_ptr<synth::ProblemSpec> spec;  ///< copy of the input spec
+  SwitchProgram program;
+
+  SpineBaseline() = default;
+  SpineBaseline(SpineBaseline&&) = default;
+  SpineBaseline& operator=(SpineBaseline&&) = default;
+};
+
+/// Routes \p spec onto the spine. Never fails: the spine always admits a
+/// (possibly contaminated) routing — that is exactly the point.
+SpineBaseline route_on_spine(const synth::ProblemSpec& spec,
+                             SpineSchedule schedule,
+                             const arch::SpineGeometry& geometry = {});
+
+}  // namespace mlsi::sim

@@ -1,0 +1,100 @@
+#include "sim/wash.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mlsi::sim {
+namespace {
+
+/// Sorted-vector intersection test.
+bool intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+void merge_into(WetRegion& acc, const WetRegion& add) {
+  std::vector<int> merged;
+  std::set_union(acc.vertices.begin(), acc.vertices.end(),
+                 add.vertices.begin(), add.vertices.end(),
+                 std::back_inserter(merged));
+  acc.vertices = std::move(merged);
+  merged.clear();
+  std::set_union(acc.segments.begin(), acc.segments.end(),
+                 add.segments.begin(), add.segments.end(),
+                 std::back_inserter(merged));
+  acc.segments = std::move(merged);
+}
+
+}  // namespace
+
+WashPlan plan_washes(const SwitchProgram& program) {
+  const synth::ProblemSpec& spec = *program.spec;
+  WashPlan plan;
+
+  // Conflicting inlet-module pairs as a symmetric lookup.
+  std::set<std::pair<int, int>> conflict;
+  for (const auto& [a, b] : spec.conflicting_inlet_modules()) {
+    conflict.emplace(a, b);
+    conflict.emplace(b, a);
+  }
+
+  // Active inlets per set.
+  std::map<int, std::set<int>> inlets_of_set;
+  for (const synth::RoutedFlow& rf : program.routed) {
+    inlets_of_set[rf.set].insert(
+        spec.flows[static_cast<std::size_t>(rf.flow)].src_module);
+  }
+
+  // Residues accumulated since the last wash, per inlet reagent.
+  std::map<int, WetRegion> residue;
+  for (int s = 0; s < program.num_sets; ++s) {
+    // Regions this set will wet.
+    std::map<int, WetRegion> regions;
+    for (const int m : inlets_of_set[s]) {
+      regions.emplace(
+          m, flood(program, s, program.binding[static_cast<std::size_t>(m)]));
+    }
+    // Conflicting fluids inside the same set cannot be separated by any
+    // wash: count them as permanently contaminated.
+    for (auto it1 = regions.begin(); it1 != regions.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != regions.end(); ++it2) {
+        if (conflict.count({it1->first, it2->first}) == 0) continue;
+        if (intersects(it1->second.vertices, it2->second.vertices) ||
+            intersects(it1->second.segments, it2->second.segments)) {
+          ++plan.unwashable;
+        }
+      }
+    }
+    // Does any incoming fluid meet a conflicting residue?
+    int encounters = 0;
+    for (const auto& [m, region] : regions) {
+      for (const auto& [r, res] : residue) {
+        if (conflict.count({m, r}) == 0) continue;
+        if (intersects(region.vertices, res.vertices) ||
+            intersects(region.segments, res.segments)) {
+          ++encounters;
+        }
+      }
+    }
+    if (encounters > 0) {
+      plan.wash_before_set.push_back(s);
+      plan.resolved_encounters += encounters;
+      residue.clear();  // the flush clears every channel
+    }
+    for (const auto& [m, region] : regions) {
+      merge_into(residue[m], region);
+    }
+  }
+  plan.total_steps = program.num_sets + plan.num_washes();
+  return plan;
+}
+
+}  // namespace mlsi::sim

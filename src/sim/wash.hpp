@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file wash.hpp
+/// \brief Wash-operation planning — the prior-work alternative to
+/// contamination-free routing.
+///
+/// Before this paper, cross-contamination on flow-based biochips was
+/// handled by *washing*: flushing a buffer through polluted channels
+/// between incompatible uses (Hu, Ho, Chakrabarty, ASP-DAC'14 — the
+/// paper's reference [9]). This module plans such washes for any routed
+/// switch program, so benchmarks can quantify the trade the paper's
+/// Introduction argues: a contamination-free switch needs *zero* washes,
+/// while a spine needs one flush per conflicting reuse, each costing a
+/// full execution step and wash buffer.
+///
+/// Model: flow sets execute in order; a wash step flushes the entire
+/// switch (every residue is cleared). Before executing set s, a wash is
+/// required iff some element (vertex or segment) that set s's fluids will
+/// wet still carries residue of a reagent conflicting with them. The
+/// planner returns the (unique, greedy-minimal for the full-flush model)
+/// set of wash points.
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mlsi::sim {
+
+struct WashPlan {
+  /// Wash steps required immediately before these set indices (ascending).
+  std::vector<int> wash_before_set;
+  /// Conflicting-residue encounters each wash resolves (diagnostic).
+  int resolved_encounters = 0;
+  /// Execution steps including washes: num_sets + washes.
+  int total_steps = 0;
+  /// Conflicting fluids meeting *within* one set: no wash can separate
+  /// simultaneous flows — these remain contaminated (the spine's parallel
+  /// schedule exhibits them; a valid synthesis never does).
+  int unwashable = 0;
+
+  [[nodiscard]] int num_washes() const {
+    return static_cast<int>(wash_before_set.size());
+  }
+};
+
+/// Plans washes for \p program. A program that validates contamination-free
+/// yields an empty plan. The flood semantics match validate(): residues are
+/// everything a fluid wets, at inlet-reagent granularity.
+WashPlan plan_washes(const SwitchProgram& program);
+
+}  // namespace mlsi::sim

@@ -1,0 +1,36 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mlsi {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[mlsi %.*s] %.*s\n",
+               static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(msg.size()),
+               msg.data());
+}
+}  // namespace detail
+
+}  // namespace mlsi

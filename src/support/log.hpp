@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file log.hpp
+/// \brief Tiny leveled logger.
+///
+/// Synthesis runs can take minutes on large unfixed-binding models; the
+/// engines emit progress at kInfo, internals at kDebug. The default level
+/// is kWarn so that library users see nothing unless they opt in.
+
+#include <string>
+#include <string_view>
+
+#include "support/strings.hpp"
+
+namespace mlsi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    detail::log_emit(LogLevel::kDebug, cat(args...));
+  }
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    detail::log_emit(LogLevel::kInfo, cat(args...));
+  }
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    detail::log_emit(LogLevel::kWarn, cat(args...));
+  }
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) {
+    detail::log_emit(LogLevel::kError, cat(args...));
+  }
+}
+
+}  // namespace mlsi

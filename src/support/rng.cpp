@@ -1,0 +1,74 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace mlsi {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // All-zero state is the one invalid xoshiro state; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MLSI_ASSERT(bound > 0, "next_below requires a positive bound");
+  // Rejection sampling to stay exactly uniform.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+int Rng::next_int(int lo, int hi) {
+  MLSI_ASSERT(lo <= hi, "next_int requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high bits → uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::vector<int> Rng::sample_without_replacement(int n, int count) {
+  MLSI_ASSERT(count >= 0 && count <= n, "sample size out of range");
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  shuffle(pool);
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+}  // namespace mlsi

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generator.
+///
+/// Benchmarks and the artificial-case generator must be reproducible across
+/// runs and platforms, so the library carries its own small PRNG
+/// (splitmix64-seeded xoshiro256**) instead of relying on the
+/// implementation-defined std::default_random_engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mlsi {
+
+/// xoshiro256** with a splitmix64 seed expansion. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes the state from \p seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability \p p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher–Yates shuffle of \p items.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws \p count distinct indices from [0, n) in random order.
+  std::vector<int> sample_without_replacement(int n, int count);
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace mlsi

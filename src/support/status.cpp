@@ -1,0 +1,65 @@
+#include "support/status.hpp"
+
+namespace mlsi {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kInfeasible: return "infeasible";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : code_(code), message_(std::move(message)) {
+  if (code_ == StatusCode::kOk) {
+    throw std::logic_error("error Status constructed with kOk");
+  }
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status{StatusCode::kInvalidArgument, std::move(msg)};
+}
+Status Status::Infeasible(std::string msg) {
+  return Status{StatusCode::kInfeasible, std::move(msg)};
+}
+Status Status::Timeout(std::string msg) {
+  return Status{StatusCode::kTimeout, std::move(msg)};
+}
+Status Status::NotFound(std::string msg) {
+  return Status{StatusCode::kNotFound, std::move(msg)};
+}
+Status Status::Internal(std::string msg) {
+  return Status{StatusCode::kInternal, std::move(msg)};
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out{mlsi::to_string(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::string what = "assertion failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw AssertionError(what);
+}
+}  // namespace detail
+
+}  // namespace mlsi

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file status.hpp
+/// \brief Lightweight error-handling vocabulary used across the mlsi libraries.
+///
+/// The library does not use exceptions for expected failure modes (an
+/// infeasible synthesis model, a malformed case file, a solver timeout).
+/// Functions that can fail in such ways return a Status or a Result<T>.
+/// Exceptions remain reserved for programming errors (precondition
+/// violations) via MLSI_ASSERT.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mlsi {
+
+/// Coarse classification of a failure. Kept deliberately small: callers
+/// branch on these, while the human-readable message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (case file, inconsistent spec)
+  kInfeasible,        ///< model proved infeasible ("no solution" in the paper)
+  kTimeout,           ///< solver hit its deadline before proving optimality
+  kNotFound,          ///< missing file / unknown name
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// \brief Returns a stable lower-case name for \p code (e.g. "infeasible").
+std::string_view to_string(StatusCode code);
+
+/// \brief A success-or-error value without a payload.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a failed status. \p code must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  /// Named constructors, reading better at call sites.
+  static Status Ok() { return Status{}; }
+  static Status InvalidArgument(std::string msg);
+  static Status Infeasible(std::string msg);
+  static Status Timeout(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status Internal(std::string msg);
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or a failure Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return my_t;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return Status::Infeasible(...)`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result constructed from OK status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The failure status; OK when the result holds a value.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  /// Access the value. Throws std::logic_error when the result is an error;
+  /// callers are expected to check ok() first.
+  [[nodiscard]] T& value() & { return require(); }
+  [[nodiscard]] const T& value() const& { return require_const(); }
+  [[nodiscard]] T&& value() && { return std::move(require()); }
+
+  [[nodiscard]] T* operator->() { return &require(); }
+  [[nodiscard]] const T* operator->() const { return &require_const(); }
+  [[nodiscard]] T& operator*() & { return require(); }
+  [[nodiscard]] const T& operator*() const& { return require_const(); }
+
+  /// Returns the value or \p fallback when this is an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  T& require() {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).to_string());
+    }
+    return std::get<T>(data_);
+  }
+  const T& require_const() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).to_string());
+    }
+    return std::get<T>(data_);
+  }
+
+  std::variant<T, Status> data_;
+};
+
+/// \brief Thrown by MLSI_ASSERT on precondition violations (programmer error).
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Precondition / invariant check that stays enabled in release builds.
+/// The checked algorithms are small; correctness beats the nanoseconds.
+#define MLSI_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mlsi::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+}  // namespace mlsi

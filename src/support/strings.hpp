@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file strings.hpp
+/// \brief Small string utilities shared by the I/O and report writers.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlsi {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on \p sep; empty fields are kept. split("a,,b", ',') -> {a, "", b}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins \p parts with \p sep.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when \p s begins with \p prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with \p digits significant decimals, trimming a bare
+/// trailing dot ("13.6", "0.273"). Used by the report tables.
+std::string fmt_double(double v, int digits = 3);
+
+/// Variadic stream-based concatenation: cat("x=", 3, "mm") -> "x=3mm".
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Left/right padding for fixed-width plain-text tables.
+std::string pad_right(std::string s, std::size_t width);
+std::string pad_left(std::string s, std::size_t width);
+
+}  // namespace mlsi

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch and deadline helpers.
+///
+/// The synthesis engines report program runtime (column T in the paper's
+/// tables) and honour solver deadlines; both are expressed through these
+/// small types.
+
+#include <chrono>
+#include <limits>
+
+namespace mlsi {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. A non-positive budget means "no limit".
+class Deadline {
+ public:
+  /// No limit.
+  Deadline() = default;
+
+  /// Expires \p budget_seconds from now; non-positive means no limit.
+  explicit Deadline(double budget_seconds) {
+    if (budget_seconds > 0) {
+      limited_ = true;
+      expiry_ = Timer::Clock::now() +
+                std::chrono::duration_cast<Timer::Clock::duration>(
+                    std::chrono::duration<double>(budget_seconds));
+    }
+  }
+
+  [[nodiscard]] bool limited() const { return limited_; }
+
+  [[nodiscard]] bool expired() const {
+    return limited_ && Timer::Clock::now() >= expiry_;
+  }
+
+  /// Seconds until expiry (infinity when unlimited, <= 0 when expired).
+  [[nodiscard]] double remaining_seconds() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ - Timer::Clock::now()).count();
+  }
+
+ private:
+  bool limited_ = false;
+  Timer::Clock::time_point expiry_{};
+};
+
+}  // namespace mlsi

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file cp_engine.hpp
+/// \brief Exact branch & bound synthesis over (binding, path, set) choices.
+///
+/// Search structure:
+///  * fixed policy — depth-first over flows; per flow iterate candidate
+///    paths between the bound pins, then flow sets;
+///  * clockwise policy — outer enumeration of every cyclic-order-preserving
+///    module->pin assignment (the feasible set of the paper's constraints
+///    (3.12)-(3.13)), inner fixed search sharing one incumbent;
+///  * unfixed policy — binding decisions are taken lazily inside the flow
+///    DFS; the very first pin choice is restricted to one side of the
+///    crossbar (quarter-turn symmetry reduction).
+///
+/// Constraints enforced during the dive (identical to the IQP):
+///  * one path per flow, each candidate path used at most once (3.1, 3.2);
+///  * conflicting reagents (inlet modules) never share a path vertex, in
+///    any set (3.3, strengthened to per-pair disjointness);
+///  * within a flow set every vertex is wetted by at most one inlet
+///    (3.4-3.6, the collision/scheduling rule);
+///  * binding is injective (3.9, 3.10).
+///
+/// Bound: alpha * sets_used + beta * union_length is monotone along a dive,
+/// so partial costs prune against the incumbent. Candidate paths are tried
+/// by added-union-length, sets lowest-first — the first dive is the greedy
+/// solution and gives a strong early incumbent.
+
+#include "synth/engine.hpp"
+
+namespace mlsi::synth {
+
+/// Runs the search. \p paths must come from enumerate_paths(topo).
+/// Returns kInfeasible when no contamination-free schedule exists (the
+/// paper's "no solution" rows) and kTimeout when the budget expired before
+/// any incumbent was found.
+Result<SynthesisResult> solve_cp(const arch::SwitchTopology& topo,
+                                 const arch::PathSet& paths,
+                                 const ProblemSpec& spec,
+                                 const EngineParams& params = {});
+
+}  // namespace mlsi::synth

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file engine.hpp
+/// \brief Shared interface of the two synthesis engines.
+///
+/// Both engines solve the same problem exactly:
+///  * CpEngine (cp_engine.hpp) — dedicated branch & bound over (binding,
+///    path, flow-set) assignments with incremental constraint checks; fast
+///    on every policy and the production choice.
+///  * IqpEngine (iqp_engine.hpp) — faithful reconstruction of the paper's
+///    IQP, constraints (3.1)-(3.13), solved with mlsi::opt (the in-repo
+///    Gurobi substitute). Tractable for fixed-policy models of any size and
+///    for small clockwise/unfixed models; used for cross-validation and the
+///    engine ablation.
+///
+/// Engines return routing, binding, schedule, length and objective; valve
+/// reduction, valve states and pressure sharing are applied on top by the
+/// Synthesizer facade (synthesizer.hpp).
+
+#include "arch/paths.hpp"
+#include "arch/topology.hpp"
+#include "opt/milp.hpp"
+#include "synth/result.hpp"
+#include "synth/spec.hpp"
+
+namespace mlsi::synth {
+
+struct EngineParams {
+  /// Wall-clock budget for one synthesis; <= 0 means unlimited. When the
+  /// budget expires the best incumbent is returned with
+  /// stats.proven_optimal = false (paper runs took up to 13,449 s; the
+  /// benches default to tighter budgets).
+  double time_limit_s = 120.0;
+  long max_nodes = 500'000'000;
+  bool log = false;
+  /// Forwarded to the MILP solver by IqpEngine.
+  opt::MilpParams milp;
+};
+
+}  // namespace mlsi::synth

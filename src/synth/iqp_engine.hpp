@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file iqp_engine.hpp
+/// \brief The paper's IQP synthesis model, solved with mlsi::opt.
+///
+/// Reconstructs constraints (3.1)-(3.13) over the precomputed candidate
+/// paths and solves the linearized model with the in-repo branch & bound.
+/// Two deliberate deviations from the thesis text, both documented in
+/// DESIGN.md:
+///
+///  1. Constraint (3.3) is applied per conflicting *pair* (un_i,n + un_j,n
+///     <= 1). The thesis sums over all flows appearing in any conflict,
+///     which over-constrains non-conflicting pairs whenever the conflict
+///     graph is not complete.
+///  2. The big-M trio (3.4)-(3.6) alone does not forbid two inlets sharing
+///     a node (setting every q' = 1 satisfies all three). The missing link
+///     k_{m,n,s} <= (1 - q'_{m,n,s}) * N_Pins is added; with it, q' = 0 is
+///     forced whenever inlet m uses node n in set s, and (3.5)/(3.6) then
+///     pin k to K as intended.
+///
+/// Tractability: the dense-tableau LP bounds this engine to fixed-policy
+/// models of any switch size and clockwise/unfixed models on the 8-pin
+/// switch (the thesis itself reports hours of Gurobi time on the larger
+/// unfixed models). solve_iqp returns kInvalidArgument with an explanation
+/// when the model would exceed the solver's practical size.
+
+#include "synth/engine.hpp"
+
+namespace mlsi::synth {
+
+Result<SynthesisResult> solve_iqp(const arch::SwitchTopology& topo,
+                                  const arch::PathSet& paths,
+                                  const ProblemSpec& spec,
+                                  const EngineParams& params = {});
+
+/// Builds the IQP model without solving it — e.g. to export it in LP format
+/// (opt/lp_format.hpp) for an external solver like the thesis's Gurobi.
+/// Applies the same candidate-path restrictions and size guard as
+/// solve_iqp.
+Result<opt::Model> build_iqp_model(const arch::SwitchTopology& topo,
+                                   const arch::PathSet& paths,
+                                   const ProblemSpec& spec);
+
+}  // namespace mlsi::synth

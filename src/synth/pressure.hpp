@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file pressure.hpp
+/// \brief Pressure sharing among valves (paper, Section 3.5).
+///
+/// Control inlets are 1 mm² each — expensive chip area — so valves whose
+/// state schedules are compatible reuse one control inlet. Two valves are
+/// compatible when no flow set demands one Open and the other Closed
+/// (don't-care X matches anything). Compatibility is exactly pairwise, so
+/// minimizing control inlets is a minimum clique cover on the compatibility
+/// graph; the paper solves it with the ILP (3.14)-(3.17), reproduced here on
+/// mlsi::opt, alongside a first-fit greedy heuristic used as an upper bound
+/// and ablation baseline.
+
+#include <vector>
+
+#include "opt/milp.hpp"
+#include "synth/valves.hpp"
+
+namespace mlsi::synth {
+
+/// Result of a pressure-sharing pass over n valves.
+struct PressureGroups {
+  std::vector<int> group;  ///< per valve index, 0-based group id
+  int num_groups = 0;
+  bool proven_optimal = false;
+};
+
+/// Compatibility matrix: compatible[i][j] == valves i and j can share.
+/// states[set][valve] as produced by derive_valve_states.
+std::vector<std::vector<bool>> valve_compatibility(
+    const std::vector<std::vector<ValveState>>& states);
+
+/// True when every pair inside each group is compatible and every valve is
+/// grouped — the invariant both solvers must satisfy.
+bool groups_valid(const std::vector<std::vector<bool>>& compatible,
+                  const PressureGroups& groups);
+
+/// First-fit greedy cover: valves in index order join the first group whose
+/// members are all compatible. Deterministic; optimal on small inputs more
+/// often than not but not always.
+PressureGroups pressure_groups_greedy(
+    const std::vector<std::vector<bool>>& compatible);
+
+/// The paper's exact ILP (3.14)-(3.17) solved with the in-repo MILP solver.
+/// Falls back to the greedy answer (proven_optimal = false) if the solver
+/// hits its budget.
+PressureGroups pressure_groups_ilp(
+    const std::vector<std::vector<bool>>& compatible,
+    const opt::MilpParams& params = {});
+
+}  // namespace mlsi::synth

@@ -1,0 +1,37 @@
+#include "synth/result.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mlsi::synth {
+
+char to_char(ValveState s) { return static_cast<char>(s); }
+
+int SynthesisResult::inlet_pin(int flow) const {
+  MLSI_ASSERT(flow >= 0 && flow < static_cast<int>(routed.size()),
+              "flow index out of range");
+  return routed[static_cast<std::size_t>(flow)].path.from_pin;
+}
+
+int SynthesisResult::outlet_pin(int flow) const {
+  MLSI_ASSERT(flow >= 0 && flow < static_cast<int>(routed.size()),
+              "flow index out of range");
+  return routed[static_cast<std::size_t>(flow)].path.to_pin;
+}
+
+std::vector<int> union_segments(const std::vector<RoutedFlow>& routed) {
+  std::set<int> segs;
+  for (const RoutedFlow& rf : routed) {
+    segs.insert(rf.path.segments.begin(), rf.path.segments.end());
+  }
+  return {segs.begin(), segs.end()};
+}
+
+double segments_length_mm(const arch::SwitchTopology& topo,
+                          const std::vector<int>& segment_ids) {
+  double um = 0.0;
+  for (const int s : segment_ids) um += topo.segment(s).length_um;
+  return um / 1000.0;
+}
+
+}  // namespace mlsi::synth

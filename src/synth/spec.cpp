@@ -1,0 +1,170 @@
+#include "synth/spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace mlsi::synth {
+
+std::string_view to_string(BindingPolicy policy) {
+  switch (policy) {
+    case BindingPolicy::kFixed: return "fixed";
+    case BindingPolicy::kClockwise: return "clockwise";
+    case BindingPolicy::kUnfixed: return "unfixed";
+  }
+  return "?";
+}
+
+Result<BindingPolicy> binding_policy_from_string(std::string_view name) {
+  if (name == "fixed") return BindingPolicy::kFixed;
+  if (name == "clockwise") return BindingPolicy::kClockwise;
+  if (name == "unfixed") return BindingPolicy::kUnfixed;
+  return Status::InvalidArgument(cat("unknown binding policy '", name, "'"));
+}
+
+int ProblemSpec::module_index(std::string_view name) const {
+  for (int i = 0; i < num_modules(); ++i) {
+    if (modules[static_cast<std::size_t>(i)] == name) return i;
+  }
+  return -1;
+}
+
+bool ProblemSpec::is_inlet(int module) const {
+  return std::any_of(flows.begin(), flows.end(), [module](const FlowSpec& f) {
+    return f.src_module == module;
+  });
+}
+
+std::vector<std::pair<int, int>> ProblemSpec::conflicting_inlet_modules()
+    const {
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& [fa, fb] : conflicts) {
+    const int ma = flows[static_cast<std::size_t>(fa)].src_module;
+    const int mb = flows[static_cast<std::size_t>(fb)].src_module;
+    pairs.emplace(std::min(ma, mb), std::max(ma, mb));
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+bool ProblemSpec::flows_conflict(int flow_a, int flow_b) const {
+  const int ma = flows[static_cast<std::size_t>(flow_a)].src_module;
+  const int mb = flows[static_cast<std::size_t>(flow_b)].src_module;
+  if (ma == mb) return false;
+  const auto key = std::pair{std::min(ma, mb), std::max(ma, mb)};
+  const auto pairs = conflicting_inlet_modules();
+  return std::binary_search(pairs.begin(), pairs.end(), key);
+}
+
+Status ProblemSpec::validate() const {
+  if (modules.empty()) return Status::InvalidArgument("no modules");
+  if (flows.empty()) return Status::InvalidArgument("no flows");
+  if (pins_per_side != 0 && (pins_per_side < 2 || pins_per_side > 4)) {
+    return Status::InvalidArgument(
+        cat("pins_per_side must be 0 (auto) or 2..4, got ", pins_per_side));
+  }
+  {
+    std::set<std::string> names(modules.begin(), modules.end());
+    if (static_cast<int>(names.size()) != num_modules()) {
+      return Status::InvalidArgument("duplicate module names");
+    }
+  }
+
+  std::vector<char> is_src(modules.size(), 0);
+  std::vector<char> is_dst(modules.size(), 0);
+  for (const FlowSpec& f : flows) {
+    if (f.src_module < 0 || f.src_module >= num_modules() ||
+        f.dst_module < 0 || f.dst_module >= num_modules()) {
+      return Status::InvalidArgument("flow references an unknown module");
+    }
+    if (f.src_module == f.dst_module) {
+      return Status::InvalidArgument(
+          cat("flow from module ", modules[static_cast<std::size_t>(f.src_module)],
+              " to itself"));
+    }
+    is_src[static_cast<std::size_t>(f.src_module)] = 1;
+    if (is_dst[static_cast<std::size_t>(f.dst_module)] != 0) {
+      return Status::InvalidArgument(
+          cat("outlet module ",
+              modules[static_cast<std::size_t>(f.dst_module)],
+              " is the destination of more than one flow"));
+    }
+    is_dst[static_cast<std::size_t>(f.dst_module)] = 1;
+  }
+  for (int m = 0; m < num_modules(); ++m) {
+    if (is_src[static_cast<std::size_t>(m)] != 0 &&
+        is_dst[static_cast<std::size_t>(m)] != 0) {
+      return Status::InvalidArgument(
+          cat("module ", modules[static_cast<std::size_t>(m)],
+              " is used both as inlet and outlet"));
+    }
+    if (is_src[static_cast<std::size_t>(m)] == 0 &&
+        is_dst[static_cast<std::size_t>(m)] == 0) {
+      return Status::InvalidArgument(
+          cat("module ", modules[static_cast<std::size_t>(m)],
+              " participates in no flow"));
+    }
+  }
+
+  for (const auto& [fa, fb] : conflicts) {
+    if (fa < 0 || fa >= num_flows() || fb < 0 || fb >= num_flows()) {
+      return Status::InvalidArgument("conflict references an unknown flow");
+    }
+    if (fa == fb) return Status::InvalidArgument("flow conflicts with itself");
+    if (flows[static_cast<std::size_t>(fa)].src_module ==
+        flows[static_cast<std::size_t>(fb)].src_module) {
+      return Status::InvalidArgument(
+          "conflicting flows share an inlet: a reagent cannot conflict with "
+          "itself");
+    }
+  }
+
+  switch (policy) {
+    case BindingPolicy::kFixed: {
+      if (static_cast<int>(fixed_binding.size()) != num_modules()) {
+        return Status::InvalidArgument(
+            "fixed policy requires a pin for every module");
+      }
+      std::set<int> mods;
+      std::set<int> pins;
+      for (const ModulePin& mp : fixed_binding) {
+        if (mp.module < 0 || mp.module >= num_modules()) {
+          return Status::InvalidArgument("fixed binding: unknown module");
+        }
+        if (mp.pin_index < 0) {
+          return Status::InvalidArgument("fixed binding: negative pin index");
+        }
+        if (!mods.insert(mp.module).second) {
+          return Status::InvalidArgument("fixed binding: duplicate module");
+        }
+        if (!pins.insert(mp.pin_index).second) {
+          return Status::InvalidArgument("fixed binding: duplicate pin");
+        }
+      }
+      break;
+    }
+    case BindingPolicy::kClockwise: {
+      if (static_cast<int>(clockwise_order.size()) != num_modules()) {
+        return Status::InvalidArgument(
+            "clockwise policy requires the full module order");
+      }
+      std::set<int> mods(clockwise_order.begin(), clockwise_order.end());
+      if (static_cast<int>(mods.size()) != num_modules() ||
+          *mods.begin() < 0 || *mods.rbegin() >= num_modules()) {
+        return Status::InvalidArgument(
+            "clockwise order must be a permutation of the modules");
+      }
+      break;
+    }
+    case BindingPolicy::kUnfixed: break;
+  }
+
+  if (alpha < 0 || beta < 0 || (alpha == 0 && beta == 0)) {
+    return Status::InvalidArgument("objective weights must be non-negative "
+                                   "and not both zero");
+  }
+  if (max_sets < 0) return Status::InvalidArgument("negative max_sets");
+  return Status::Ok();
+}
+
+}  // namespace mlsi::synth

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file spec.hpp
+/// \brief Switch synthesis problem specification (the paper's "Input").
+///
+/// A problem names the modules connected to the switch, the fluid flows
+/// between them (source module -> destination module), the conflicting flow
+/// pairs (contamination-prone reagents), the module-to-pin binding policy
+/// and the objective weights. Everything in Section 2.3 of the paper.
+///
+/// Conventions enforced by validate(), following Section 4.2:
+///  * every module is either an inlet (appears only as a flow source) or an
+///    outlet (appears only as a destination) of the switch;
+///  * each outlet is the destination of exactly one flow ("each outlet pin
+///    can be accessed at most once"); inlets may fan out (branching flows);
+///  * conflicts are between flows of *different* inlets — reagent identity
+///    is per inlet reservoir, so a conflict between two flows of the same
+///    inlet is contradictory input.
+
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mlsi::synth {
+
+/// A fluid transport task through the switch.
+struct FlowSpec {
+  int src_module = -1;  ///< index into ProblemSpec::modules
+  int dst_module = -1;  ///< index into ProblemSpec::modules
+};
+
+enum class BindingPolicy { kFixed, kClockwise, kUnfixed };
+
+[[nodiscard]] std::string_view to_string(BindingPolicy policy);
+[[nodiscard]] Result<BindingPolicy> binding_policy_from_string(
+    std::string_view name);
+
+/// Fixed-policy binding input: module -> clockwise pin index.
+struct ModulePin {
+  int module = -1;
+  int pin_index = -1;  ///< index into SwitchTopology::pins_clockwise()
+};
+
+struct ProblemSpec {
+  std::string name;
+
+  /// Pins per side of the crossbar (2, 3 or 4 -> 8/12/16-pin switch);
+  /// 0 selects the smallest switch that fits the module count.
+  int pins_per_side = 0;
+
+  std::vector<std::string> modules;
+  std::vector<FlowSpec> flows;
+  /// Conflicting flow pairs (indices into `flows`).
+  std::vector<std::pair<int, int>> conflicts;
+
+  BindingPolicy policy = BindingPolicy::kUnfixed;
+  /// Clockwise policy: module indices in the user-specified clockwise order.
+  std::vector<int> clockwise_order;
+  /// Fixed policy: the prescribed module-pin pairs (all modules).
+  std::vector<ModulePin> fixed_binding;
+
+  /// Objective weights (paper defaults: alpha = 1, beta = 100; the length
+  /// term is in millimetres).
+  double alpha = 1.0;
+  double beta = 100.0;
+
+  /// Maximum number of flow sets explored; 0 means one per flow.
+  int max_sets = 0;
+
+  // --- derived helpers (valid after validate() returns OK) -----------------
+
+  [[nodiscard]] int num_modules() const {
+    return static_cast<int>(modules.size());
+  }
+  [[nodiscard]] int num_flows() const { return static_cast<int>(flows.size()); }
+  [[nodiscard]] int effective_max_sets() const {
+    return max_sets > 0 ? max_sets : std::max(1, num_flows());
+  }
+  /// Index of the module in `modules`, or -1.
+  [[nodiscard]] int module_index(std::string_view name) const;
+  /// True when the module is a flow source.
+  [[nodiscard]] bool is_inlet(int module) const;
+  /// Conflicting inlet-module pairs implied by the flow conflicts (reagent
+  /// identity lives at the inlet): deduplicated, src < dst normalized.
+  [[nodiscard]] std::vector<std::pair<int, int>> conflicting_inlet_modules()
+      const;
+  /// True when the two flows' reagents conflict.
+  [[nodiscard]] bool flows_conflict(int flow_a, int flow_b) const;
+
+  /// Full structural validation; see file comment for the rules.
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace mlsi::synth

@@ -1,0 +1,93 @@
+#include "synth/synthesizer.hpp"
+
+#include "support/timer.hpp"
+#include "synth/cp_engine.hpp"
+#include "synth/iqp_engine.hpp"
+#include "synth/valves.hpp"
+
+namespace mlsi::synth {
+
+Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  const int k = spec_.pins_per_side != 0
+                    ? spec_.pins_per_side
+                    : (spec_.num_modules() <= 8   ? 2
+                       : spec_.num_modules() <= 12 ? 3
+                                                   : 4);
+  topo_ = std::make_unique<arch::SwitchTopology>(
+      arch::make_crossbar(k, options_.geometry));
+  paths_ = std::make_unique<arch::PathSet>(
+      arch::enumerate_paths(*topo_, options_.path_options));
+}
+
+Result<SynthesisResult> Synthesizer::synthesize() const {
+  Timer timer;
+  Result<SynthesisResult> routed =
+      options_.engine == EngineChoice::kCp
+          ? solve_cp(*topo_, *paths_, spec_, options_.engine_params)
+          : solve_iqp(*topo_, *paths_, spec_, options_.engine_params);
+  if (!routed.ok()) return routed;
+  apply_post_processing(*routed);
+  routed->stats.runtime_s = timer.seconds();
+  return routed;
+}
+
+void Synthesizer::apply_post_processing(SynthesisResult& result) const {
+  result.used_segments = union_segments(result.routed);
+  result.flow_length_mm = segments_length_mm(*topo_, result.used_segments);
+  result.objective =
+      spec_.alpha * result.num_sets + spec_.beta * result.flow_length_mm;
+
+  // Essential-valve reduction.
+  switch (options_.reduction) {
+    case ValveReductionRule::kNone: {
+      result.essential_valves.clear();
+      for (const int s : result.used_segments) {
+        if (topo_->segment(s).has_valve) result.essential_valves.push_back(s);
+      }
+      break;
+    }
+    case ValveReductionRule::kPaper:
+      result.essential_valves = essential_valves_paper(
+          *topo_, spec_, result.routed, result.used_segments);
+      break;
+  }
+
+  // Valve schedule over the kept valves.
+  const ValveSchedule sched = derive_valve_states(
+      *topo_, result.routed, result.num_sets, result.essential_valves);
+  result.essential_valves = sched.valve_segments;
+  result.valve_states = sched.states;
+
+  // Pressure sharing.
+  switch (options_.pressure) {
+    case PressureMode::kOff: {
+      result.pressure_group.resize(result.essential_valves.size());
+      for (std::size_t i = 0; i < result.pressure_group.size(); ++i) {
+        result.pressure_group[i] = static_cast<int>(i);
+      }
+      result.num_pressure_groups = static_cast<int>(result.pressure_group.size());
+      break;
+    }
+    case PressureMode::kGreedy:
+    case PressureMode::kIlp: {
+      const auto compat = valve_compatibility(result.valve_states);
+      const PressureGroups groups =
+          options_.pressure == PressureMode::kGreedy
+              ? pressure_groups_greedy(compat)
+              : pressure_groups_ilp(compat, options_.engine_params.milp);
+      result.pressure_group = groups.group;
+      result.num_pressure_groups = groups.num_groups;
+      break;
+    }
+  }
+}
+
+Result<SynthesisResult> synthesize(const ProblemSpec& spec,
+                                   const SynthesisOptions& options) {
+  const Status valid = spec.validate();
+  if (!valid.ok()) return valid;
+  return Synthesizer(spec, options).synthesize();
+}
+
+}  // namespace mlsi::synth

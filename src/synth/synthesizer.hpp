@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file synthesizer.hpp
+/// \brief One-call synthesis pipeline: topology -> paths -> engine ->
+/// application-specific reduction -> valve schedule -> pressure sharing.
+///
+/// This is the library's main entry point:
+///
+/// \code
+///   mlsi::synth::ProblemSpec spec = ...;
+///   mlsi::synth::Synthesizer syn(spec);
+///   auto result = syn.synthesize();
+///   if (result.ok()) { ... result->flow_length_mm ... }
+/// \endcode
+
+#include <memory>
+
+#include "arch/crossbar.hpp"
+#include "arch/paths.hpp"
+#include "synth/engine.hpp"
+#include "synth/pressure.hpp"
+
+namespace mlsi::synth {
+
+enum class EngineChoice {
+  kCp,   ///< dedicated branch & bound (default; fast on all policies)
+  kIqp,  ///< the paper's IQP on the in-repo MILP solver
+};
+
+enum class ValveReductionRule {
+  kNone,   ///< keep a valve on every used segment
+  kPaper,  ///< the aggregate inlet-subset rule of Section 3.5
+};
+
+enum class PressureMode {
+  kOff,     ///< one control inlet per essential valve
+  kGreedy,  ///< first-fit heuristic cover
+  kIlp,     ///< exact clique-cover ILP (3.14)-(3.17)
+};
+
+struct SynthesisOptions {
+  EngineChoice engine = EngineChoice::kCp;
+  EngineParams engine_params;
+  ValveReductionRule reduction = ValveReductionRule::kPaper;
+  PressureMode pressure = PressureMode::kIlp;
+  arch::PathEnumOptions path_options;
+  arch::CrossbarGeometry geometry;
+};
+
+/// Owns the switch model and candidate paths; runs the pipeline.
+class Synthesizer {
+ public:
+  /// Builds the switch topology (spec.pins_per_side, or the smallest size
+  /// fitting the module count) and enumerates candidate paths.
+  /// Throws AssertionError only on programmer error; a bad spec surfaces
+  /// from synthesize().
+  explicit Synthesizer(ProblemSpec spec, SynthesisOptions options = {});
+
+  [[nodiscard]] const arch::SwitchTopology& topology() const { return *topo_; }
+  [[nodiscard]] const arch::PathSet& paths() const { return *paths_; }
+  [[nodiscard]] const ProblemSpec& spec() const { return spec_; }
+  [[nodiscard]] const SynthesisOptions& options() const { return options_; }
+
+  /// Runs engine + post-processing. stats.runtime_s covers the whole call.
+  [[nodiscard]] Result<SynthesisResult> synthesize() const;
+
+  /// Recomputes reduction, valve states and pressure groups on an existing
+  /// routing (used by ablations that re-route or re-reduce).
+  void apply_post_processing(SynthesisResult& result) const;
+
+ private:
+  ProblemSpec spec_;
+  SynthesisOptions options_;
+  std::unique_ptr<arch::SwitchTopology> topo_;
+  std::unique_ptr<arch::PathSet> paths_;
+};
+
+/// Convenience free function for one-shot use.
+Result<SynthesisResult> synthesize(const ProblemSpec& spec,
+                                   const SynthesisOptions& options = {});
+
+}  // namespace mlsi::synth

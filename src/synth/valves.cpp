@@ -1,0 +1,89 @@
+#include "synth/valves.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/status.hpp"
+
+namespace mlsi::synth {
+
+ValveSchedule derive_valve_states(const arch::SwitchTopology& topo,
+                                  const std::vector<RoutedFlow>& routed,
+                                  int num_sets,
+                                  std::vector<int> valve_segments) {
+  std::sort(valve_segments.begin(), valve_segments.end());
+  ValveSchedule sched;
+  sched.valve_segments = std::move(valve_segments);
+  sched.states.assign(static_cast<std::size_t>(num_sets),
+                      std::vector<ValveState>(sched.valve_segments.size(),
+                                              ValveState::kDontCare));
+
+  // Per set: which segments are open (used by a flow) and which vertices
+  // are wetted (lie on a flow path).
+  std::vector<std::set<int>> open_segments(static_cast<std::size_t>(num_sets));
+  std::vector<std::set<int>> wet_vertices(static_cast<std::size_t>(num_sets));
+  for (const RoutedFlow& rf : routed) {
+    MLSI_ASSERT(rf.set >= 0 && rf.set < num_sets, "flow set out of range");
+    open_segments[static_cast<std::size_t>(rf.set)].insert(
+        rf.path.segments.begin(), rf.path.segments.end());
+    wet_vertices[static_cast<std::size_t>(rf.set)].insert(
+        rf.path.vertices.begin(), rf.path.vertices.end());
+  }
+
+  for (int s = 0; s < num_sets; ++s) {
+    const auto& open = open_segments[static_cast<std::size_t>(s)];
+    const auto& wet = wet_vertices[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < sched.valve_segments.size(); ++i) {
+      const int seg_id = sched.valve_segments[i];
+      const arch::Segment& seg = topo.segment(seg_id);
+      ValveState st = ValveState::kDontCare;
+      if (open.count(seg_id) != 0) {
+        st = ValveState::kOpen;
+      } else if (wet.count(seg.a) != 0 || wet.count(seg.b) != 0) {
+        st = ValveState::kClosed;  // must block leakage out of a wet vertex
+      }
+      sched.states[static_cast<std::size_t>(s)][i] = st;
+    }
+  }
+  return sched;
+}
+
+std::vector<int> essential_valves_paper(const arch::SwitchTopology& topo,
+                                        const ProblemSpec& spec,
+                                        const std::vector<RoutedFlow>& routed,
+                                        const std::vector<int>& used_segments) {
+  // inlets[e] = set of inlet modules whose flows pass segment e.
+  std::vector<std::set<int>> inlets(static_cast<std::size_t>(topo.num_segments()));
+  for (const RoutedFlow& rf : routed) {
+    const int inlet = spec.flows[static_cast<std::size_t>(rf.flow)].src_module;
+    for (const int seg : rf.path.segments) {
+      inlets[static_cast<std::size_t>(seg)].insert(inlet);
+    }
+  }
+  const std::set<int> used(used_segments.begin(), used_segments.end());
+
+  std::vector<int> essential;
+  for (const int e : used_segments) {
+    const arch::Segment& seg = topo.segment(e);
+    if (!seg.has_valve) continue;  // structure carries no valve here
+    // Gather inlets of neighbouring *used* segments (paper: "after removing
+    // the unused segment TR-R").
+    bool needed = false;
+    for (const int endpoint : {seg.a, seg.b}) {
+      for (const int nb : topo.incident(endpoint)) {
+        if (nb == e || used.count(nb) == 0) continue;
+        for (const int inlet : inlets[static_cast<std::size_t>(nb)]) {
+          if (inlets[static_cast<std::size_t>(e)].count(inlet) == 0) {
+            // A neighbouring segment carries a reagent this valve's segment
+            // never carries: the valve must be able to close.
+            needed = true;
+          }
+        }
+      }
+    }
+    if (needed) essential.push_back(e);
+  }
+  return essential;  // used_segments is sorted, so essential is sorted
+}
+
+}  // namespace mlsi::synth

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file valves.hpp
+/// \brief Valve state schedules and the essential-valve reduction.
+///
+/// After routing, the application-specific switch keeps only the used
+/// segments; among those, a valve is *unnecessary* when it "can always be
+/// at the open status" (paper, Section 3.5): if the valve carries flows
+/// from every inlet that ever appears in its neighbouring segments, leaving
+/// it open can neither misroute nor newly contaminate. essential_valves_paper
+/// implements that aggregate inlet-subset rule verbatim; a stricter per-set
+/// semantic rule lives in mlsi::sim (reduce_valves_strict) and is compared
+/// against it in the ablation benchmarks.
+
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "synth/result.hpp"
+
+namespace mlsi::synth {
+
+/// Per-set states for an explicit set of valve-carrying segments.
+/// states[set][i] applies to valve_segments[i].
+struct ValveSchedule {
+  std::vector<int> valve_segments;               ///< sorted segment ids
+  std::vector<std::vector<ValveState>> states;   ///< [num_sets][segments]
+};
+
+/// Derives O/C/X per flow set for every segment in \p valve_segments:
+/// Open when a flow of the set uses the segment; Closed when the segment is
+/// unused in the set but touches a vertex wetted by the set (it must block
+/// leakage); DontCare otherwise.
+ValveSchedule derive_valve_states(const arch::SwitchTopology& topo,
+                                  const std::vector<RoutedFlow>& routed,
+                                  int num_sets,
+                                  std::vector<int> valve_segments);
+
+/// The paper's aggregate reduction rule. Returns the sorted segment ids of
+/// essential valves: used segments carrying a valve whose neighbouring used
+/// segments see inlets the valve's own segment does not carry. \p spec
+/// supplies the flow -> inlet-module map.
+std::vector<int> essential_valves_paper(const arch::SwitchTopology& topo,
+                                        const ProblemSpec& spec,
+                                        const std::vector<RoutedFlow>& routed,
+                                        const std::vector<int>& used_segments);
+
+}  // namespace mlsi::synth

@@ -1,0 +1,144 @@
+// Tests for the reconstructed application cases and the artificial-case
+// generator behind the 90-case scheduling study.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cases/artificial.hpp"
+#include "cases/cases.hpp"
+
+namespace mlsi::cases {
+namespace {
+
+using synth::BindingPolicy;
+using synth::ProblemSpec;
+
+class BuiltinCaseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuiltinCaseTest, EveryCaseValidatesUnderEveryPolicy) {
+  ProblemSpec (*factories[])(BindingPolicy) = {
+      chip_sw1, chip_sw2, nucleic_acid, mrna_isolation, kinase_sw1,
+      kinase_sw2};
+  const BindingPolicy policy = static_cast<BindingPolicy>(GetParam() % 3);
+  const ProblemSpec spec = factories[GetParam() / 3](policy);
+  EXPECT_TRUE(spec.validate().ok()) << spec.validate().to_string();
+  EXPECT_EQ(spec.policy, policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BuiltinCaseTest, ::testing::Range(0, 18));
+
+TEST(BuiltinCaseTest, PaperReportedShapes) {
+  // Module counts and switch sizes exactly as in Tables 4.1 / 4.3.
+  EXPECT_EQ(chip_sw1(BindingPolicy::kUnfixed).num_modules(), 9);
+  EXPECT_EQ(chip_sw1(BindingPolicy::kUnfixed).pins_per_side, 3);
+  EXPECT_EQ(chip_sw2(BindingPolicy::kUnfixed).num_modules(), 10);
+  EXPECT_EQ(nucleic_acid(BindingPolicy::kUnfixed).num_modules(), 7);
+  EXPECT_EQ(nucleic_acid(BindingPolicy::kUnfixed).pins_per_side, 2);
+  EXPECT_EQ(mrna_isolation(BindingPolicy::kUnfixed).num_modules(), 10);
+  EXPECT_EQ(mrna_isolation(BindingPolicy::kUnfixed).pins_per_side, 3);
+  EXPECT_EQ(kinase_sw1(BindingPolicy::kUnfixed).num_modules(), 4);
+  EXPECT_EQ(kinase_sw2(BindingPolicy::kUnfixed).num_modules(), 6);
+}
+
+TEST(BuiltinCaseTest, ChipConflictStructure) {
+  // "conflicts between flows coming from flow inlets i10 and i11".
+  const ProblemSpec spec = chip_sw1(BindingPolicy::kUnfixed);
+  const auto pairs = spec.conflicting_inlet_modules();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(spec.modules[static_cast<std::size_t>(pairs[0].first)], "i10");
+  EXPECT_EQ(spec.modules[static_cast<std::size_t>(pairs[0].second)], "i11");
+}
+
+TEST(BuiltinCaseTest, MrnaAllEluatesConflict) {
+  const ProblemSpec spec = mrna_isolation(BindingPolicy::kUnfixed);
+  // RC1..RC4 pairwise: C(4,2) = 6 conflicting inlet pairs.
+  EXPECT_EQ(spec.conflicting_inlet_modules().size(), 6u);
+}
+
+TEST(BuiltinCaseTest, Table42InputVerbatim) {
+  const ProblemSpec spec = table42_example();
+  EXPECT_EQ(spec.num_modules(), 12);
+  EXPECT_EQ(spec.num_flows(), 9);
+  EXPECT_EQ(spec.policy, BindingPolicy::kClockwise);
+  EXPECT_TRUE(spec.conflicts.empty());
+  // flows 1->(7,10,11), 2->(5,8,9), 3->(4,6,12) with 1-based module names.
+  const auto has_flow = [&](const char* from, const char* to) {
+    const int s = spec.module_index(from);
+    const int d = spec.module_index(to);
+    for (const auto& f : spec.flows) {
+      if (f.src_module == s && f.dst_module == d) return true;
+    }
+    return false;
+  };
+  for (const auto& [from, to] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"1", "7"}, {"1", "10"}, {"1", "11"}, {"2", "5"}, {"2", "8"},
+           {"2", "9"}, {"3", "4"}, {"3", "6"}, {"3", "12"}}) {
+    EXPECT_TRUE(has_flow(from, to)) << from << "->" << to;
+  }
+}
+
+TEST(BuiltinCaseTest, TableHelpers) {
+  EXPECT_EQ(table41_cases(BindingPolicy::kFixed).size(), 3u);
+  EXPECT_EQ(table43_cases(BindingPolicy::kClockwise).size(), 4u);
+}
+
+TEST(ArtificialTest, GeneratorProducesValidSpecs) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    ArtificialParams p;
+    p.pins_per_side = 2 + static_cast<int>(seed % 2);
+    p.num_inlets = 1 + static_cast<int>(seed % 3);
+    p.num_outlets = 3 + static_cast<int>(seed % 4);
+    p.num_conflict_pairs = static_cast<int>(seed % 3);
+    p.policy = static_cast<synth::BindingPolicy>(seed % 3);
+    p.seed = seed;
+    const ProblemSpec spec = make_artificial(p);
+    EXPECT_TRUE(spec.validate().ok()) << spec.name;
+    EXPECT_EQ(spec.num_flows(), p.num_outlets);
+    EXPECT_LE(static_cast<int>(spec.conflicts.size()), p.num_conflict_pairs);
+  }
+}
+
+TEST(ArtificialTest, Deterministic) {
+  ArtificialParams p;
+  p.seed = 42;
+  p.num_conflict_pairs = 2;
+  p.policy = synth::BindingPolicy::kClockwise;
+  const ProblemSpec a = make_artificial(p);
+  const ProblemSpec b = make_artificial(p);
+  EXPECT_EQ(a.clockwise_order, b.clockwise_order);
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  for (int i = 0; i < a.num_flows(); ++i) {
+    EXPECT_EQ(a.flows[i].src_module, b.flows[i].src_module);
+  }
+  EXPECT_EQ(a.conflicts, b.conflicts);
+}
+
+TEST(ArtificialTest, SuiteHasNinetyDistinctCases) {
+  const auto suite = artificial_suite_90();
+  ASSERT_EQ(suite.size(), 90u);
+  std::set<std::string> names;
+  int fixed = 0;
+  int clockwise = 0;
+  int unfixed = 0;
+  int eight_pin = 0;
+  for (const auto& spec : suite) {
+    EXPECT_TRUE(spec.validate().ok()) << spec.name;
+    names.insert(spec.name);
+    switch (spec.policy) {
+      case BindingPolicy::kFixed: ++fixed; break;
+      case BindingPolicy::kClockwise: ++clockwise; break;
+      case BindingPolicy::kUnfixed: ++unfixed; break;
+    }
+    if (spec.pins_per_side == 2) ++eight_pin;
+  }
+  EXPECT_EQ(names.size(), 90u) << "duplicate case names";
+  EXPECT_EQ(fixed, 30);
+  EXPECT_EQ(clockwise, 30);
+  EXPECT_EQ(unfixed, 30);
+  EXPECT_EQ(eight_pin, 45);
+}
+
+}  // namespace
+}  // namespace mlsi::cases

@@ -1,0 +1,208 @@
+// Tests for the control-layer router: every pressure group becomes one
+// DRC-clean control net reaching a boundary inlet, pressure sharing reduces
+// the control-channel budget, and the built-in cases all route.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "cases/cases.hpp"
+#include "control/mux.hpp"
+#include "control/router.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::control {
+namespace {
+
+using synth::BindingPolicy;
+
+synth::SynthesisResult synthesize_or_die(const synth::ProblemSpec& spec,
+                                         synth::PressureMode pressure,
+                                         const synth::Synthesizer** out_syn) {
+  static std::vector<std::unique_ptr<synth::Synthesizer>> keep_alive;
+  synth::SynthesisOptions options;
+  options.pressure = pressure;
+  options.engine_params.time_limit_s = 60.0;
+  keep_alive.push_back(std::make_unique<synth::Synthesizer>(spec, options));
+  *out_syn = keep_alive.back().get();
+  auto result = keep_alive.back()->synthesize();
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return *result;
+}
+
+TEST(ControlRouterTest, RoutesChipFixedCleanly) {
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result =
+      synthesize_or_die(spec, synth::PressureMode::kIlp, &syn);
+  ASSERT_GT(result.num_valves(), 0);
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(static_cast<int>(plan->nets.size()), result.num_pressure_groups);
+  EXPECT_TRUE(plan->check(syn->topology()).ok())
+      << plan->check(syn->topology()).to_string();
+  EXPECT_GT(plan->total_length_mm, 0.0);
+}
+
+TEST(ControlRouterTest, InletsSitOnBoundaryAndKeepSpacing) {
+  const synth::ProblemSpec spec = cases::chip_sw2(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result =
+      synthesize_or_die(spec, synth::PressureMode::kOff, &syn);
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  for (const ControlNet& net : plan->nets) {
+    EXPECT_TRUE(net.inlet.x == 0 || net.inlet.y == 0 ||
+                net.inlet.x == plan->grid_width - 1 ||
+                net.inlet.y == plan->grid_height - 1)
+        << "inlet of net " << net.group << " not on the boundary";
+  }
+  // Pairwise inlet spacing >= 1 mm (in cells).
+  const int spacing =
+      static_cast<int>(std::ceil(1000.0 / plan->cell_um)) + 1;
+  for (std::size_t i = 0; i < plan->nets.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan->nets.size(); ++j) {
+      const Cell a = plan->nets[i].inlet;
+      const Cell b = plan->nets[j].inlet;
+      EXPECT_GE(std::abs(a.x - b.x) + std::abs(a.y - b.y), spacing);
+    }
+  }
+}
+
+TEST(ControlRouterTest, SharingUsesFewerInletsAndLessChannel) {
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn_off = nullptr;
+  const synth::Synthesizer* syn_ilp = nullptr;
+  const auto off = synthesize_or_die(spec, synth::PressureMode::kOff, &syn_off);
+  const auto ilp = synthesize_or_die(spec, synth::PressureMode::kIlp, &syn_ilp);
+  const auto plan_off = route_control(syn_off->topology(), off);
+  const auto plan_ilp = route_control(syn_ilp->topology(), ilp);
+  ASSERT_TRUE(plan_off.ok()) << plan_off.status().to_string();
+  ASSERT_TRUE(plan_ilp.ok()) << plan_ilp.status().to_string();
+  EXPECT_LT(plan_ilp->nets.size(), plan_off->nets.size());
+}
+
+TEST(ControlRouterTest, EmptyValveSetYieldsEmptyPlan) {
+  const synth::ProblemSpec spec =
+      cases::nucleic_acid(BindingPolicy::kUnfixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result = synthesize_or_die(spec, synth::PressureMode::kIlp, &syn);
+  if (result.num_valves() != 0) GTEST_SKIP() << "routing kept valves";
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->nets.empty());
+  EXPECT_EQ(plan->total_length_mm, 0.0);
+}
+
+TEST(ControlRouterTest, NetCellsAreConnected) {
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kClockwise);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result = synthesize_or_die(spec, synth::PressureMode::kIlp, &syn);
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  for (const ControlNet& net : plan->nets) {
+    // Flood within the net's cell set from the inlet; all cells reachable.
+    std::set<std::pair<int, int>> cells;
+    for (const Cell c : net.cells) cells.emplace(c.x, c.y);
+    std::set<std::pair<int, int>> seen;
+    std::vector<std::pair<int, int>> stack{{net.inlet.x, net.inlet.y}};
+    seen.insert(stack.front());
+    while (!stack.empty()) {
+      const auto [x, y] = stack.back();
+      stack.pop_back();
+      for (const auto& [dx, dy] :
+           {std::pair{1, 0}, {-1, 0}, {0, 1}, {0, -1}}) {
+        const std::pair<int, int> nb{x + dx, y + dy};
+        if (cells.count(nb) != 0 && seen.insert(nb).second) {
+          stack.push_back(nb);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), cells.size())
+        << "net " << net.group << " is not a connected tree";
+  }
+}
+
+TEST(ControlRouterTest, SvgRendering) {
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result = synthesize_or_die(spec, synth::PressureMode::kIlp, &syn);
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok());
+  const std::string svg = render_control_svg(syn->topology(), result, *plan);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("control nets"), std::string::npos);
+}
+
+TEST(ControlRouterTest, CoarseGridDetectsSeatCollision) {
+  // At an absurdly coarse pitch, different groups' seats share one cell and
+  // the router refuses with a helpful message.
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result = synthesize_or_die(spec, synth::PressureMode::kOff, &syn);
+  RouterOptions coarse;
+  coarse.cell_um = 4000.0;
+  coarse.margin_um = 4000.0;
+  const auto plan = route_control(syn->topology(), result, coarse);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MuxTest, TrivialSizes) {
+  EXPECT_EQ(plan_multiplexer(0).control_lines, 0);
+  const MuxPlan one = plan_multiplexer(1);
+  EXPECT_EQ(one.control_lines, 0);
+  EXPECT_TRUE(mux_plan_valid(one));
+}
+
+TEST(MuxTest, ThorsenScaling) {
+  // 2 * ceil(log2 n) control lines address n channels (paper ref [2]).
+  const int expected_lines[][2] = {{2, 2},  {3, 4},  {4, 4},  {5, 6},
+                                   {8, 6},  {9, 8},  {16, 8}, {17, 10},
+                                   {100, 14}};
+  for (const auto& [n, lines] : expected_lines) {
+    const MuxPlan plan = plan_multiplexer(n);
+    EXPECT_EQ(plan.control_lines, lines) << "n=" << n;
+    EXPECT_TRUE(mux_plan_valid(plan)) << "n=" << n;
+  }
+}
+
+TEST(MuxTest, AddressesAreDistinctPatterns) {
+  const MuxPlan plan = plan_multiplexer(10);
+  EXPECT_EQ(plan.assignments.size(), 10u);
+  EXPECT_EQ(plan.assignments[5].pattern().size(), 4u);  // 4 bits for 10
+  EXPECT_EQ(plan.assignments[5].pattern(), "0101");
+  EXPECT_TRUE(mux_plan_valid(plan));
+}
+
+TEST(MuxTest, ValidityRejectsCorruptPlans) {
+  MuxPlan plan = plan_multiplexer(4);
+  plan.assignments[1].bits = plan.assignments[0].bits;  // duplicate address
+  EXPECT_FALSE(mux_plan_valid(plan));
+  MuxPlan plan2 = plan_multiplexer(4);
+  plan2.assignments.pop_back();
+  EXPECT_FALSE(mux_plan_valid(plan2));
+}
+
+TEST(MuxTest, PortsSavedBreakEven) {
+  EXPECT_LT(plan_multiplexer(3).ports_saved(), 0);   // 3 nets: mux costs more
+  EXPECT_EQ(plan_multiplexer(6).ports_saved(), 0);   // break-even region
+  EXPECT_GT(plan_multiplexer(16).ports_saved(), 0);  // 16 nets via 8 lines
+}
+
+TEST(MuxTest, ComposesWithControlRouting) {
+  // End-to-end: synthesize, route the control layer, then address the nets.
+  const synth::ProblemSpec spec = cases::chip_sw2(BindingPolicy::kFixed);
+  const synth::Synthesizer* syn = nullptr;
+  const auto result = synthesize_or_die(spec, synth::PressureMode::kOff, &syn);
+  const auto plan = route_control(syn->topology(), result);
+  ASSERT_TRUE(plan.ok());
+  const MuxPlan mux = plan_multiplexer(static_cast<int>(plan->nets.size()));
+  EXPECT_TRUE(mux_plan_valid(mux));
+  EXPECT_EQ(mux.num_channels, static_cast<int>(plan->nets.size()));
+}
+
+}  // namespace
+}  // namespace mlsi::control

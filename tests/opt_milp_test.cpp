@@ -1,0 +1,247 @@
+// Tests for the branch & bound MILP solver, including exhaustive
+// cross-validation against brute-force enumeration on random binary models —
+// this exercises the simplex through hundreds of branch-node relaxations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "opt/milp.hpp"
+#include "support/rng.hpp"
+
+namespace mlsi::opt {
+namespace {
+
+TEST(MilpTest, Knapsack) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary) -> a, b -> 16.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_constraint(LinExpr{a} + LinExpr{b} + LinExpr{c}, Sense::kLe, 2.0);
+  m.set_objective(LinExpr{a} * 10.0 + LinExpr{b} * 6.0 + LinExpr{c} * 4.0,
+                  /*minimize=*/false);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 16.0, 1e-6);
+  EXPECT_TRUE(s.value_bool(a));
+  EXPECT_TRUE(s.value_bool(b));
+  EXPECT_FALSE(s.value_bool(c));
+}
+
+TEST(MilpTest, IntegerRounding) {
+  // min y s.t. 2y >= 7, y integer in [0, 10] -> y = 4 (LP gives 3.5).
+  Model m;
+  const Var y = m.add_integer(0, 10, "y");
+  m.add_constraint(LinExpr{y} * 2.0, Sense::kGe, 7.0);
+  m.set_objective(LinExpr{y});
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_EQ(s.value_int(y), 4);
+}
+
+TEST(MilpTest, InfeasibleBinaryModel) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_constraint(LinExpr{a} + LinExpr{b}, Sense::kGe, 1.5);
+  m.add_constraint(LinExpr{a} + LinExpr{b}, Sense::kLe, 1.0);
+  m.set_objective(LinExpr{a});
+  EXPECT_EQ(solve_milp(m).status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpTest, QuadraticObjectiveLinearized) {
+  // max 3ab - c with a + c >= 1: take a = b = 1, c = 0 -> 3.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_constraint(LinExpr{a} + LinExpr{c}, Sense::kGe, 1.0);
+  QuadExpr obj{LinExpr{c} * -1.0};
+  obj.add_product(a, b, 3.0);
+  m.set_objective(obj, /*minimize=*/false);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_TRUE(s.value_bool(a));
+  EXPECT_TRUE(s.value_bool(b));
+  // Reported values cover exactly the caller's variables.
+  EXPECT_EQ(s.values.size(), 3u);
+}
+
+TEST(MilpTest, QuadraticConstraintLinearized) {
+  // Paper-style conflict: x1*x2 = 0 (cannot co-select), maximize x1 + x2.
+  Model m;
+  const Var x1 = m.add_binary("x1");
+  const Var x2 = m.add_binary("x2");
+  QuadExpr conflict;
+  conflict.add_product(x1, x2, 1.0);
+  m.add_constraint(conflict, Sense::kLe, 0.0, "conflict");
+  m.set_objective(LinExpr{x1} + LinExpr{x2}, /*minimize=*/false);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(MilpTest, TimeLimitReturnsGracefully) {
+  // A model large enough not to finish instantly, with an absurd deadline.
+  Model m;
+  std::vector<Var> xs;
+  LinExpr sum;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(m.add_binary("x" + std::to_string(i)));
+    sum += LinExpr{xs.back()} * (1.0 + 0.37 * i);
+  }
+  m.add_constraint(sum, Sense::kLe, 17.3);
+  m.set_objective(sum, /*minimize=*/false);
+  MilpParams params;
+  params.time_limit_s = 1e-6;
+  const Solution s = solve_milp(m, params);
+  EXPECT_TRUE(s.status == MilpStatus::kFeasible ||
+              s.status == MilpStatus::kUnknown);
+}
+
+TEST(MilpTest, MaximizeEqualsNegatedMinimize) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    Model m;
+    std::vector<Var> xs;
+    for (int i = 0; i < 6; ++i) xs.push_back(m.add_binary("x"));
+    LinExpr obj;
+    LinExpr row;
+    for (int i = 0; i < 6; ++i) {
+      obj.add(xs[i], rng.next_double() * 4 - 2);
+      row.add(xs[i], 1.0);
+    }
+    m.add_constraint(row, Sense::kLe, 3.0);
+
+    Model m2 = m;
+    m.set_objective(obj, /*minimize=*/false);
+    m2.set_objective(obj * -1.0, /*minimize=*/true);
+    const Solution a = solve_milp(m);
+    const Solution b = solve_milp(m2);
+    ASSERT_EQ(a.status, MilpStatus::kOptimal);
+    ASSERT_EQ(b.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(a.objective, -b.objective, 1e-6);
+  }
+}
+
+TEST(MilpTest, BranchPriorityDoesNotChangeOptimum) {
+  Rng rng(512);
+  for (int round = 0; round < 8; ++round) {
+    Model m;
+    std::vector<Var> xs;
+    LinExpr row;
+    LinExpr obj;
+    for (int i = 0; i < 10; ++i) {
+      xs.push_back(m.add_binary("x"));
+      row.add(xs.back(), 1.0 + rng.next_double());
+      obj.add(xs.back(), rng.next_double() * 5);
+    }
+    m.add_constraint(row, Sense::kLe, 6.0);
+    m.set_objective(obj, /*minimize=*/false);
+    Model prioritized = m;
+    for (int i = 0; i < 10; ++i) {
+      prioritized.set_branch_priority(xs[static_cast<std::size_t>(i)], i % 3);
+    }
+    const Solution plain = solve_milp(m);
+    const Solution prio = solve_milp(prioritized);
+    ASSERT_EQ(plain.status, MilpStatus::kOptimal);
+    ASSERT_EQ(prio.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(plain.objective, prio.objective, 1e-6);
+  }
+}
+
+// --- exhaustive cross-validation ------------------------------------------
+
+struct BruteResult {
+  bool feasible = false;
+  double best = std::numeric_limits<double>::infinity();
+};
+
+BruteResult brute_force_min(const Model& m) {
+  const int n = m.num_vars();
+  BruteResult out;
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  // All vars binary by construction in these tests.
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    for (int j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = (mask >> j) & 1;
+    if (!m.is_feasible(x, 1e-9)) continue;
+    out.feasible = true;
+    const double obj = m.objective().evaluate(x);
+    out.best = std::min(out.best, obj);
+  }
+  return out;
+}
+
+class MilpRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  const int n = rng.next_int(3, 11);
+  const int rows = rng.next_int(1, 7);
+  Model m;
+  std::vector<Var> xs;
+  for (int j = 0; j < n; ++j) xs.push_back(m.add_binary("x"));
+
+  for (int r = 0; r < rows; ++r) {
+    const bool quadratic = rng.next_bool(0.3);
+    QuadExpr e;
+    double center = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.next_bool(0.5)) {
+        const double c = static_cast<double>(rng.next_int(-3, 3));
+        e.add(xs[static_cast<std::size_t>(j)], c);
+        center += 0.5 * c;
+      }
+    }
+    if (quadratic) {
+      const int a = rng.next_int(0, n - 1);
+      const int b = rng.next_int(0, n - 1);
+      if (a != b) {
+        e.add_product(xs[static_cast<std::size_t>(a)],
+                      xs[static_cast<std::size_t>(b)],
+                      static_cast<double>(rng.next_int(-2, 2)));
+      }
+    }
+    const int sense = rng.next_int(0, 2);
+    const double rhs = std::floor(center) + rng.next_int(-1, 2);
+    if (sense == 0) {
+      m.add_constraint(e, Sense::kLe, rhs);
+    } else if (sense == 1) {
+      m.add_constraint(e, Sense::kGe, rhs);
+    } else {
+      m.add_constraint(e, Sense::kEq, rhs);
+    }
+  }
+
+  QuadExpr obj;
+  for (int j = 0; j < n; ++j) {
+    obj.add(xs[static_cast<std::size_t>(j)], static_cast<double>(rng.next_int(-4, 4)));
+  }
+  if (rng.next_bool(0.4)) {
+    obj.add_product(xs[0], xs[static_cast<std::size_t>(n - 1)],
+                    static_cast<double>(rng.next_int(-3, 3)));
+  }
+  m.set_objective(obj, /*minimize=*/true);
+
+  const BruteResult expected = brute_force_min(m);
+  const Solution got = solve_milp(m);
+  if (!expected.feasible) {
+    EXPECT_EQ(got.status, MilpStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(got.status, MilpStatus::kOptimal)
+        << "expected optimum " << expected.best;
+    EXPECT_NEAR(got.objective, expected.best, 1e-6);
+    // The incumbent itself must satisfy the model.
+    std::vector<double> vals = got.values;
+    EXPECT_TRUE(m.is_feasible(vals, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MilpRandomTest, ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace mlsi::opt

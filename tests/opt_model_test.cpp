@@ -1,0 +1,160 @@
+// Unit tests for the optimization model builder and the binary-product
+// linearizer.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "opt/model.hpp"
+
+namespace mlsi::opt {
+namespace {
+
+TEST(LinExprTest, BuildAndCompress) {
+  LinExpr e;
+  e.add(Var{0}, 2.0).add(Var{1}, -1.0).add(Var{0}, 3.0).add_constant(4.0);
+  e.compress();
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(e.terms()[1].second, -1.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 4.0);
+}
+
+TEST(LinExprTest, CompressDropsZeroSums) {
+  LinExpr e;
+  e.add(Var{3}, 1.0).add(Var{3}, -1.0).add(Var{5}, 2.0);
+  e.compress();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].first, 5);
+}
+
+TEST(LinExprTest, Arithmetic) {
+  LinExpr a = LinExpr{Var{0}} * 2.0 + LinExpr{1.5};
+  LinExpr b = LinExpr{Var{1}} - LinExpr{Var{0}};
+  LinExpr c = a + b;
+  const std::vector<double> x{3.0, 10.0};
+  EXPECT_DOUBLE_EQ(c.evaluate(x), 2 * 3 + 1.5 + 10 - 3);
+}
+
+TEST(LinExprTest, EvaluateOutOfRangeAsserts) {
+  LinExpr e{Var{7}};
+  EXPECT_THROW((void)e.evaluate({1.0}), AssertionError);
+}
+
+TEST(QuadExprTest, EvaluateWithProducts) {
+  QuadExpr q{LinExpr{Var{0}} * 3.0};
+  q.add_product(Var{0}, Var{1}, 2.0);
+  q.add(Var{1}, -1.0);
+  const std::vector<double> x{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(q.evaluate(x), 3.0 + 2.0 - 1.0);
+  EXPECT_FALSE(q.is_linear());
+  EXPECT_TRUE(QuadExpr{LinExpr{Var{0}}}.is_linear());
+}
+
+TEST(ModelTest, AddVarsAndBounds) {
+  Model m;
+  const Var b = m.add_binary("b");
+  const Var i = m.add_integer(-2, 5, "i");
+  const Var c = m.add_continuous(0.0, 1.5, "c");
+  EXPECT_EQ(m.num_vars(), 3);
+  EXPECT_EQ(m.var(b).type, VarType::kBinary);
+  EXPECT_EQ(m.var(i).lb, -2);
+  EXPECT_EQ(m.var(c).ub, 1.5);
+  m.set_bounds(i, 0, 3);
+  EXPECT_EQ(m.var(i).lb, 0);
+  EXPECT_EQ(m.var(i).ub, 3);
+}
+
+TEST(ModelTest, InfiniteBoundsRejected) {
+  Model m;
+  EXPECT_THROW(
+      m.add_continuous(0.0, std::numeric_limits<double>::infinity(), "x"),
+      AssertionError);
+}
+
+TEST(ModelTest, InvertedBoundsRejected) {
+  Model m;
+  EXPECT_THROW(m.add_integer(3, 1, "x"), AssertionError);
+}
+
+TEST(ModelTest, FeasibilityCheck) {
+  Model m;
+  const Var x = m.add_integer(0, 4, "x");
+  const Var y = m.add_binary("y");
+  // x + 2y <= 4
+  m.add_constraint(LinExpr{x} + LinExpr{y} * 2.0, Sense::kLe, 4.0, "cap");
+  // x - y >= 1
+  m.add_constraint(LinExpr{x} - LinExpr{y}, Sense::kGe, 1.0, "floor");
+  EXPECT_TRUE(m.is_feasible({2.0, 1.0}));
+  EXPECT_FALSE(m.is_feasible({0.0, 1.0}));   // violates floor
+  EXPECT_FALSE(m.is_feasible({4.0, 1.0}));   // violates cap
+  EXPECT_FALSE(m.is_feasible({2.5, 1.0}));   // x not integral
+  EXPECT_FALSE(m.is_feasible({5.0, 0.0}));   // x above bound
+  EXPECT_FALSE(m.is_feasible({2.0}));        // wrong arity
+}
+
+TEST(ModelTest, IsLinearDetectsQuadratic) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  EXPECT_TRUE(m.is_linear());
+  QuadExpr q;
+  q.add_product(a, b, 1.0);
+  m.add_constraint(q, Sense::kLe, 1.0);
+  EXPECT_FALSE(m.is_linear());
+}
+
+TEST(LinearizeTest, ProductBecomesMcCormick) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  QuadExpr obj;
+  obj.add_product(a, b, 5.0);
+  m.set_objective(obj, /*minimize=*/false);
+
+  const int aux = linearize_products(m);
+  EXPECT_EQ(aux, 1);
+  EXPECT_TRUE(m.is_linear());
+  EXPECT_EQ(m.num_vars(), 3);        // a, b, w
+  EXPECT_EQ(m.num_constraints(), 3);  // the three McCormick rows
+
+  // Exactness: for every binary (a, b) the only feasible w equals a*b.
+  for (const double av : {0.0, 1.0}) {
+    for (const double bv : {0.0, 1.0}) {
+      for (const double wv : {0.0, 1.0}) {
+        const bool feasible = m.is_feasible({av, bv, wv});
+        EXPECT_EQ(feasible, wv == av * bv)
+            << "a=" << av << " b=" << bv << " w=" << wv;
+      }
+    }
+  }
+}
+
+TEST(LinearizeTest, SharedProductReusesAuxiliary) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  QuadExpr c1;
+  c1.add_product(a, b, 1.0);
+  QuadExpr c2;
+  c2.add_product(b, a, 2.0);  // same product, reversed order
+  m.add_constraint(c1, Sense::kLe, 1.0);
+  m.add_constraint(c2, Sense::kLe, 2.0);
+  const int aux = linearize_products(m);
+  EXPECT_EQ(aux, 1);
+}
+
+TEST(LinearizeTest, NonBinaryProductAsserts) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var i = m.add_integer(0, 3, "i");
+  QuadExpr q;
+  q.add_product(a, i, 1.0);
+  m.add_constraint(q, Sense::kLe, 1.0);
+  EXPECT_THROW(linearize_products(m), AssertionError);
+}
+
+}  // namespace
+}  // namespace mlsi::opt

@@ -1,0 +1,186 @@
+// Tests for the presolve reductions and the LP-format exporter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/lp_format.hpp"
+#include "opt/milp.hpp"
+#include "opt/presolve.hpp"
+#include "support/rng.hpp"
+
+namespace mlsi::opt {
+namespace {
+
+TEST(PresolveTest, TightensFromRowActivity) {
+  Model m;
+  const Var x = m.add_integer(0, 10, "x");
+  const Var y = m.add_integer(0, 10, "y");
+  // x + y <= 4 implies x,y <= 4.
+  m.add_constraint(LinExpr{x} + LinExpr{y}, Sense::kLe, 4.0);
+  const PresolveStats stats = presolve(m);
+  EXPECT_FALSE(stats.proven_infeasible);
+  EXPECT_GE(stats.bound_tightenings, 2);
+  EXPECT_DOUBLE_EQ(m.var(x).ub, 4.0);
+  EXPECT_DOUBLE_EQ(m.var(y).ub, 4.0);
+}
+
+TEST(PresolveTest, RoundsIntegerBounds) {
+  Model m;
+  const Var x = m.add_integer(0, 9, "x");
+  // 2x >= 5 -> x >= 2.5 -> x >= 3 (integral).
+  m.add_constraint(LinExpr{x} * 2.0, Sense::kGe, 5.0);
+  presolve(m);
+  EXPECT_DOUBLE_EQ(m.var(x).lb, 3.0);
+}
+
+TEST(PresolveTest, RemovesRedundantRows) {
+  Model m;
+  const Var x = m.add_binary("x");
+  m.add_constraint(LinExpr{x}, Sense::kLe, 5.0);   // redundant (x <= 1)
+  m.add_constraint(LinExpr{x}, Sense::kGe, -3.0);  // redundant
+  const PresolveStats stats = presolve(m);
+  EXPECT_EQ(stats.rows_removed, 2);
+  EXPECT_EQ(m.num_constraints(), 0);
+}
+
+TEST(PresolveTest, ProvesInfeasibility) {
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_binary("y");
+  m.add_constraint(LinExpr{x} + LinExpr{y}, Sense::kGe, 3.0);
+  const PresolveStats stats = presolve(m);
+  EXPECT_TRUE(stats.proven_infeasible);
+  // And solve_milp reports it through the same path.
+  m.set_objective(LinExpr{x});
+  EXPECT_EQ(solve_milp(m).status, MilpStatus::kInfeasible);
+}
+
+TEST(PresolveTest, FixesVariablesThroughChains) {
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_binary("y");
+  const Var z = m.add_binary("z");
+  // x = 1; x + y <= 1 -> y = 0; y + z >= 1 -> z = 1.
+  m.add_constraint(LinExpr{x}, Sense::kGe, 1.0);
+  m.add_constraint(LinExpr{x} + LinExpr{y}, Sense::kLe, 1.0);
+  m.add_constraint(LinExpr{y} + LinExpr{z}, Sense::kGe, 1.0);
+  const PresolveStats stats = presolve(m);
+  EXPECT_FALSE(stats.proven_infeasible);
+  EXPECT_EQ(stats.vars_fixed, 3);
+  EXPECT_DOUBLE_EQ(m.var(x).lb, 1.0);
+  EXPECT_DOUBLE_EQ(m.var(y).ub, 0.0);
+  EXPECT_DOUBLE_EQ(m.var(z).lb, 1.0);
+}
+
+TEST(PresolveTest, PreservesOptimaOnRandomModels) {
+  Rng rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    Model m;
+    std::vector<Var> xs;
+    const int n = rng.next_int(3, 9);
+    for (int j = 0; j < n; ++j) xs.push_back(m.add_binary("x"));
+    for (int r = 0; r < rng.next_int(1, 5); ++r) {
+      LinExpr e;
+      double center = 0;
+      for (int j = 0; j < n; ++j) {
+        if (rng.next_bool(0.5)) {
+          const double c = rng.next_int(-3, 3);
+          e.add(xs[static_cast<std::size_t>(j)], c);
+          center += 0.5 * c;
+        }
+      }
+      m.add_constraint(e, rng.next_bool() ? Sense::kLe : Sense::kGe,
+                       std::floor(center) + rng.next_int(-1, 1));
+    }
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) {
+      obj.add(xs[static_cast<std::size_t>(j)], rng.next_int(-4, 4));
+    }
+    m.set_objective(obj);
+
+    MilpParams with;
+    MilpParams without;
+    without.presolve = false;
+    const Solution a = solve_milp(m, with);
+    const Solution b = solve_milp(m, without);
+    ASSERT_EQ(a.status, b.status) << "presolve changed feasibility";
+    if (a.status == MilpStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6);
+    }
+  }
+}
+
+// --- LP format ---------------------------------------------------------------
+
+TEST(LpFormatTest, EmitsAllSections) {
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_integer(0, 7, "count");
+  const Var z = m.add_continuous(-1.5, 2.5, "flow rate");  // needs sanitizing
+  m.add_constraint(LinExpr{x} * 2.0 + LinExpr{y} - LinExpr{z}, Sense::kLe,
+                   4.0, "cap");
+  m.add_range(LinExpr{y} + LinExpr{z}, 1.0, 3.0, "window");
+  QuadExpr obj{LinExpr{x} * 3.0};
+  obj.add_product(x, x, 0.0);  // dropped (zero coefficient)
+  m.set_objective(obj, /*minimize=*/true);
+
+  const std::string lp = write_lp_format(m);
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Bounds"), std::string::npos);
+  EXPECT_NE(lp.find("Binaries"), std::string::npos);
+  EXPECT_NE(lp.find("Generals"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  EXPECT_NE(lp.find("cap_u:"), std::string::npos);
+  EXPECT_NE(lp.find("window_u:"), std::string::npos);
+  EXPECT_NE(lp.find("window_l:"), std::string::npos);
+  EXPECT_NE(lp.find("flow_rate"), std::string::npos);  // sanitized
+  EXPECT_EQ(lp.find("flow rate"), std::string::npos);
+}
+
+TEST(LpFormatTest, QuadraticProductsUseBracketSyntax) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  QuadExpr q;
+  q.add_product(a, b, 2.0);
+  m.add_constraint(q, Sense::kLe, 1.0, "conflict");
+  m.set_objective(LinExpr{a});
+  const std::string lp = write_lp_format(m);
+  EXPECT_NE(lp.find("[ 2 a * b ]"), std::string::npos) << lp;
+}
+
+TEST(LpFormatTest, EqualityAndConstantFolding) {
+  Model m;
+  const Var x = m.add_integer(0, 5, "x");
+  LinExpr e{x};
+  e.add_constant(2.0);  // x + 2 = 4  ->  x = 2
+  m.add_constraint(e, Sense::kEq, 4.0, "eq");
+  m.set_objective(LinExpr{x});
+  const std::string lp = write_lp_format(m);
+  EXPECT_NE(lp.find("eq: x = 2"), std::string::npos) << lp;
+}
+
+TEST(LpFormatTest, DuplicateNamesDeduplicated) {
+  Model m;
+  const Var a = m.add_binary("v");
+  const Var b = m.add_binary("v");
+  (void)a;
+  (void)b;
+  m.set_objective(LinExpr{a} + LinExpr{b});
+  const std::string lp = write_lp_format(m);
+  EXPECT_NE(lp.find("v_1"), std::string::npos);
+}
+
+TEST(LpFormatTest, FileRoundTrip) {
+  Model m;
+  const Var x = m.add_binary("x");
+  m.set_objective(LinExpr{x});
+  const std::string path = ::testing::TempDir() + "/mlsi_model.lp";
+  EXPECT_TRUE(save_lp_format(path, m).ok());
+  EXPECT_FALSE(save_lp_format("/no/such/dir/m.lp", m).ok());
+}
+
+}  // namespace
+}  // namespace mlsi::opt

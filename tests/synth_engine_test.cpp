@@ -1,0 +1,336 @@
+// Tests for the synthesis engines: constraint enforcement, optimality
+// shape, clockwise-order preservation, the paper's feasibility pattern,
+// full-pipeline validation on every built-in case, and CP-vs-IQP parity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cases/artificial.hpp"
+#include "cases/cases.hpp"
+#include "sim/simulator.hpp"
+#include "synth/cp_engine.hpp"
+#include "synth/iqp_engine.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::synth {
+namespace {
+
+ProblemSpec quickstart_spec(BindingPolicy policy) {
+  ProblemSpec spec;
+  spec.name = "quickstart";
+  spec.pins_per_side = 2;
+  spec.modules = {"sampleA", "sampleB", "det1", "det2", "det3", "det4"};
+  spec.flows = {{0, 2}, {0, 3}, {1, 4}, {1, 5}};
+  spec.conflicts = {{0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  spec.policy = policy;
+  if (policy == BindingPolicy::kClockwise) {
+    spec.clockwise_order = {0, 2, 3, 1, 4, 5};
+  }
+  if (policy == BindingPolicy::kFixed) {
+    spec.fixed_binding = {{0, 0}, {2, 1}, {3, 2}, {1, 4}, {4, 5}, {5, 6}};
+  }
+  return spec;
+}
+
+TEST(CpEngineTest, SolvesQuickstartAllPolicies) {
+  for (const auto policy : {BindingPolicy::kFixed, BindingPolicy::kClockwise,
+                            BindingPolicy::kUnfixed}) {
+    const ProblemSpec spec = quickstart_spec(policy);
+    Synthesizer syn(spec);
+    const auto result = syn.synthesize();
+    ASSERT_TRUE(result.ok()) << to_string(policy) << ": "
+                             << result.status().to_string();
+    EXPECT_TRUE(result->stats.proven_optimal);
+    const auto report =
+        sim::validate(sim::make_program(syn.topology(), spec, *result));
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+TEST(CpEngineTest, ConflictingPathsAreVertexDisjoint) {
+  const ProblemSpec spec = quickstart_spec(BindingPolicy::kUnfixed);
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  for (int a = 0; a < spec.num_flows(); ++a) {
+    for (int b = a + 1; b < spec.num_flows(); ++b) {
+      if (!spec.flows_conflict(a, b)) continue;
+      const auto& va = result->routed[a].path.vertex_set;
+      const auto& vb = result->routed[b].path.vertex_set;
+      std::vector<int> shared;
+      std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                            std::back_inserter(shared));
+      EXPECT_TRUE(shared.empty()) << "flows " << a << "," << b;
+    }
+  }
+}
+
+TEST(CpEngineTest, EachPathUsedOnce) {
+  const ProblemSpec spec = cases::table42_example();
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  std::set<std::vector<int>> seen;
+  for (const RoutedFlow& rf : result->routed) {
+    EXPECT_TRUE(seen.insert(rf.path.vertices).second)
+        << "two flows share one candidate path";
+  }
+}
+
+TEST(CpEngineTest, CollisionRuleWithinSets) {
+  // Within a set, a vertex may be wetted by flows of at most one inlet.
+  const ProblemSpec spec = cases::table42_example();
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  for (int s = 0; s < result->num_sets; ++s) {
+    std::map<int, int> owner;  // vertex -> inlet module
+    for (const RoutedFlow& rf : result->routed) {
+      if (rf.set != s) continue;
+      const int src = spec.flows[static_cast<std::size_t>(rf.flow)].src_module;
+      for (const int v : rf.path.vertices) {
+        const auto [it, inserted] = owner.emplace(v, src);
+        EXPECT_EQ(it->second, src) << "vertex contention in set " << s;
+        (void)inserted;
+      }
+    }
+  }
+}
+
+TEST(CpEngineTest, Table42SchedulesIntoThreeSets) {
+  // The paper's scheduling example: three inlets fanning out to three
+  // outlets each on a 12-pin switch -> 3 flow sets.
+  const ProblemSpec spec = cases::table42_example();
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.proven_optimal);
+  EXPECT_EQ(result->num_sets, 3);
+  // Flows of one inlet may share a set; the example groups by inlet.
+  for (const RoutedFlow& a : result->routed) {
+    for (const RoutedFlow& b : result->routed) {
+      if (spec.flows[static_cast<std::size_t>(a.flow)].src_module ==
+          spec.flows[static_cast<std::size_t>(b.flow)].src_module) {
+        EXPECT_EQ(a.set, b.set) << "same-inlet flows split across sets";
+      }
+    }
+  }
+}
+
+TEST(CpEngineTest, ClockwiseBindingPreservesCyclicOrder) {
+  const ProblemSpec spec = quickstart_spec(BindingPolicy::kClockwise);
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  // Collect pin indices in the user's order; they must be one cyclic
+  // rotation of a strictly increasing sequence.
+  std::vector<int> indices;
+  for (const int m : spec.clockwise_order) {
+    const int pin_vertex = result->binding[static_cast<std::size_t>(m)];
+    indices.push_back(syn.topology().pin_index(pin_vertex));
+  }
+  int descents = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] > indices[(i + 1) % indices.size()]) ++descents;
+  }
+  EXPECT_LE(descents, 1) << "binding violates the clockwise order";
+}
+
+TEST(CpEngineTest, FixedBindingRespected) {
+  const ProblemSpec spec = quickstart_spec(BindingPolicy::kFixed);
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  for (const ModulePin& mp : spec.fixed_binding) {
+    EXPECT_EQ(result->binding[static_cast<std::size_t>(mp.module)],
+              syn.topology().pins_clockwise()[static_cast<std::size_t>(
+                  mp.pin_index)]);
+  }
+}
+
+TEST(CpEngineTest, PaperFeasibilityPattern) {
+  // Table 4.1: ChIP solvable under every policy; nucleic acid and mRNA only
+  // under the unfixed policy.
+  for (const auto policy : {BindingPolicy::kFixed, BindingPolicy::kClockwise,
+                            BindingPolicy::kUnfixed}) {
+    EXPECT_TRUE(synthesize(cases::chip_sw1(policy)).ok())
+        << to_string(policy);
+    const bool feasible_na = synthesize(cases::nucleic_acid(policy)).ok();
+    const bool feasible_mrna = synthesize(cases::mrna_isolation(policy)).ok();
+    if (policy == BindingPolicy::kUnfixed) {
+      EXPECT_TRUE(feasible_na);
+      EXPECT_TRUE(feasible_mrna);
+    } else {
+      EXPECT_FALSE(feasible_na) << to_string(policy);
+      EXPECT_FALSE(feasible_mrna) << to_string(policy);
+    }
+  }
+}
+
+TEST(CpEngineTest, UnfixedNeverWorseThanOtherPolicies) {
+  // The unfixed policy's solution space contains every fixed/clockwise
+  // binding, so its optimal objective can only be better or equal.
+  for (const auto& make :
+       {cases::chip_sw1, cases::chip_sw2, cases::kinase_sw1,
+        cases::kinase_sw2}) {
+    const auto fixed = synthesize(make(BindingPolicy::kFixed));
+    const auto clockwise = synthesize(make(BindingPolicy::kClockwise));
+    SynthesisOptions options;
+    options.engine_params.time_limit_s = 60.0;
+    const auto unfixed = synthesize(make(BindingPolicy::kUnfixed), options);
+    ASSERT_TRUE(fixed.ok() && clockwise.ok() && unfixed.ok());
+    ASSERT_TRUE(clockwise->stats.proven_optimal);
+    // A best-found (budget-truncated) unfixed incumbent may still be worse;
+    // the dominance claim only binds when optimality was proven.
+    if (unfixed->stats.proven_optimal) {
+      EXPECT_LE(unfixed->objective, fixed->objective + 1e-6);
+      EXPECT_LE(unfixed->objective, clockwise->objective + 1e-6);
+    }
+    EXPECT_LE(clockwise->objective, fixed->objective + 1e-6)
+        << "the built-in cases fix a clockwise-compatible layout, so the "
+           "clockwise optimum can only improve on it";
+  }
+}
+
+TEST(CpEngineTest, TimeLimitReturnsGracefully) {
+  ProblemSpec spec = cases::mrna_isolation(BindingPolicy::kUnfixed);
+  SynthesisOptions options;
+  options.engine_params.time_limit_s = 1e-4;
+  const auto result = synthesize(spec, options);
+  // Either a quick incumbent (not proven) or a timeout status.
+  if (result.ok()) {
+    EXPECT_FALSE(result->stats.proven_optimal);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  }
+}
+
+TEST(CpEngineTest, RejectsInvalidSpec) {
+  ProblemSpec bad = quickstart_spec(BindingPolicy::kUnfixed);
+  bad.flows.push_back({0, 2});  // outlet accessed twice
+  EXPECT_EQ(synthesize(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CpEngineTest, MoreModulesThanPinsRejected) {
+  ProblemSpec spec = quickstart_spec(BindingPolicy::kUnfixed);
+  spec.pins_per_side = 2;
+  for (int i = 0; i < 5; ++i) {
+    spec.modules.push_back("extra" + std::to_string(i));
+    spec.flows.push_back({0, spec.num_modules() - 1});
+  }
+  EXPECT_FALSE(synthesize(spec).ok());
+}
+
+// --- full pipeline validation over every built-in case ----------------------
+
+struct CaseParam {
+  const char* name;
+  ProblemSpec (*make)(BindingPolicy);
+  BindingPolicy policy;
+};
+
+class PipelineValidationTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(PipelineValidationTest, SynthesisValidatesOrIsInfeasible) {
+  const CaseParam& param = GetParam();
+  const ProblemSpec spec = param.make(param.policy);
+  Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+    return;
+  }
+  SynthesisResult hardened = *result;
+  const auto outcome = sim::harden(syn.topology(), spec, hardened);
+  EXPECT_TRUE(outcome.report.ok()) << spec.name << " ["
+                                   << to_string(param.policy)
+                                   << "]: " << outcome.report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, PipelineValidationTest,
+    ::testing::Values(
+        CaseParam{"chip1_fixed", cases::chip_sw1, BindingPolicy::kFixed},
+        CaseParam{"chip1_cw", cases::chip_sw1, BindingPolicy::kClockwise},
+        CaseParam{"chip1_un", cases::chip_sw1, BindingPolicy::kUnfixed},
+        CaseParam{"chip2_fixed", cases::chip_sw2, BindingPolicy::kFixed},
+        CaseParam{"chip2_cw", cases::chip_sw2, BindingPolicy::kClockwise},
+        CaseParam{"chip2_un", cases::chip_sw2, BindingPolicy::kUnfixed},
+        CaseParam{"na_fixed", cases::nucleic_acid, BindingPolicy::kFixed},
+        CaseParam{"na_cw", cases::nucleic_acid, BindingPolicy::kClockwise},
+        CaseParam{"na_un", cases::nucleic_acid, BindingPolicy::kUnfixed},
+        CaseParam{"mrna_un", cases::mrna_isolation, BindingPolicy::kUnfixed},
+        CaseParam{"kin1_fixed", cases::kinase_sw1, BindingPolicy::kFixed},
+        CaseParam{"kin1_cw", cases::kinase_sw1, BindingPolicy::kClockwise},
+        CaseParam{"kin1_un", cases::kinase_sw1, BindingPolicy::kUnfixed},
+        CaseParam{"kin2_fixed", cases::kinase_sw2, BindingPolicy::kFixed},
+        CaseParam{"kin2_cw", cases::kinase_sw2, BindingPolicy::kClockwise},
+        CaseParam{"kin2_un", cases::kinase_sw2, BindingPolicy::kUnfixed}),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.name;
+    });
+
+// --- CP vs IQP parity ---------------------------------------------------------
+
+class EngineParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineParityTest, SameOptimumOnRandomFixedCases) {
+  cases::ArtificialParams params;
+  params.pins_per_side = 2;
+  params.num_inlets = 1 + GetParam() % 2;
+  params.num_outlets = 2 + GetParam() % 3;
+  params.num_conflict_pairs = GetParam() % 2;
+  params.policy = BindingPolicy::kFixed;
+  params.seed = 31ull * static_cast<std::uint64_t>(GetParam()) + 11;
+  ProblemSpec spec = cases::make_artificial(params);
+  spec.max_sets = 2;
+
+  Synthesizer syn(spec);
+  EngineParams ep;
+  ep.time_limit_s = 90.0;
+  const auto cp = solve_cp(syn.topology(), syn.paths(), spec, ep);
+  const auto iqp = solve_iqp(syn.topology(), syn.paths(), spec, ep);
+  ASSERT_EQ(cp.ok(), iqp.ok())
+      << "engines disagree on feasibility: cp=" << cp.status().to_string()
+      << " iqp=" << iqp.status().to_string();
+  if (!cp.ok()) {
+    EXPECT_EQ(cp.status().code(), StatusCode::kInfeasible);
+    EXPECT_EQ(iqp.status().code(), StatusCode::kInfeasible);
+    return;
+  }
+  ASSERT_TRUE(cp->stats.proven_optimal);
+  if (iqp->stats.proven_optimal) {
+    EXPECT_NEAR(cp->objective, iqp->objective, 1e-6)
+        << "engines found different optima";
+  } else {
+    EXPECT_LE(cp->objective, iqp->objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineParityTest, ::testing::Range(0, 8));
+
+TEST(EngineParityTest, NucleicAcidFixedInfeasibleInBothEngines) {
+  const ProblemSpec spec = cases::nucleic_acid(BindingPolicy::kFixed);
+  Synthesizer syn(spec);
+  EngineParams ep;
+  ep.time_limit_s = 120.0;
+  EXPECT_EQ(solve_cp(syn.topology(), syn.paths(), spec, ep).status().code(),
+            StatusCode::kInfeasible);
+  EXPECT_EQ(solve_iqp(syn.topology(), syn.paths(), spec, ep).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(EngineParityTest, IqpRefusesOversizedModels) {
+  // A 12-pin unfixed model exceeds the built-in LP's practical size and is
+  // rejected with an explanation instead of hanging.
+  const ProblemSpec spec = cases::mrna_isolation(BindingPolicy::kUnfixed);
+  Synthesizer syn(spec);
+  const auto result = solve_iqp(syn.topology(), syn.paths(), spec, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mlsi::synth

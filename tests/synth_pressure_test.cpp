@@ -1,0 +1,150 @@
+// Tests for pressure sharing (Section 3.5): compatibility semantics
+// (Figure 3.2), greedy and ILP clique covers, and exact cross-validation of
+// the ILP against brute-force minimum clique cover on random instances.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/rng.hpp"
+#include "synth/pressure.hpp"
+
+namespace mlsi::synth {
+namespace {
+
+using States = std::vector<std::vector<ValveState>>;
+
+constexpr ValveState O = ValveState::kOpen;
+constexpr ValveState C = ValveState::kClosed;
+constexpr ValveState X = ValveState::kDontCare;
+
+TEST(CompatibilityTest, Figure32aAllThreeShare) {
+  // Valve a: (O, X, C); valve b: (X, O, C); valve c: (O, O, C) — one clique.
+  const States states = {{O, X, O}, {X, O, O}, {C, C, C}};
+  const auto compat = valve_compatibility(states);
+  EXPECT_TRUE(compat[0][1]);
+  EXPECT_TRUE(compat[0][2]);
+  EXPECT_TRUE(compat[1][2]);
+  EXPECT_EQ(pressure_groups_ilp(compat).num_groups, 1);
+}
+
+TEST(CompatibilityTest, Figure32bNeedsTwoCliques) {
+  // a pairs with b and with c, but b and c clash (O vs C in one set).
+  const States states = {
+      {X, O, C},   // set 0: a=X, b=O, c=C
+      {O, X, X},   // set 1
+  };
+  const auto compat = valve_compatibility(states);
+  EXPECT_TRUE(compat[0][1]);
+  EXPECT_TRUE(compat[0][2]);
+  EXPECT_FALSE(compat[1][2]);
+  const auto groups = pressure_groups_ilp(compat);
+  EXPECT_EQ(groups.num_groups, 2);
+  EXPECT_TRUE(groups.proven_optimal);
+}
+
+TEST(CompatibilityTest, DontCareMatchesEverything) {
+  const States states = {{X, O}, {X, C}};
+  const auto compat = valve_compatibility(states);
+  EXPECT_TRUE(compat[0][1]);
+}
+
+TEST(CompatibilityTest, OpenVersusClosedClashes) {
+  const States states = {{O, C}};
+  EXPECT_FALSE(valve_compatibility(states)[0][1]);
+}
+
+TEST(PressureTest, EmptyInput) {
+  const auto compat = valve_compatibility({});
+  EXPECT_EQ(pressure_groups_greedy(compat).num_groups, 0);
+  EXPECT_EQ(pressure_groups_ilp(compat).num_groups, 0);
+}
+
+TEST(PressureTest, AllIncompatibleNeedsOnePerValve) {
+  // Three valves pairwise clashing.
+  const States states = {{O, C, O}, {C, O, O}, {O, O, C}};
+  const auto compat = valve_compatibility(states);
+  EXPECT_EQ(pressure_groups_greedy(compat).num_groups, 3);
+  EXPECT_EQ(pressure_groups_ilp(compat).num_groups, 3);
+}
+
+TEST(PressureTest, GroupsValidRejectsBadCovers) {
+  const States states = {{O, C}};
+  const auto compat = valve_compatibility(states);
+  PressureGroups bad;
+  bad.group = {0, 0};
+  bad.num_groups = 1;
+  EXPECT_FALSE(groups_valid(compat, bad));  // incompatible pair together
+  bad.group = {0, 5};
+  bad.num_groups = 2;
+  EXPECT_FALSE(groups_valid(compat, bad));  // group id out of range
+  bad.group = {0};
+  EXPECT_FALSE(groups_valid(compat, bad));  // wrong arity
+}
+
+// --- exact cross-validation ---------------------------------------------------
+
+/// Brute-force minimum clique cover by trying every assignment of n valves
+/// to at most k groups, k ascending (n <= 8).
+int brute_force_cover(const std::vector<std::vector<bool>>& compat) {
+  const int n = static_cast<int>(compat.size());
+  if (n == 0) return 0;
+  for (int k = 1; k <= n; ++k) {
+    std::vector<int> assign(static_cast<std::size_t>(n), 0);
+    while (true) {
+      bool ok = true;
+      for (int i = 0; i < n && ok; ++i) {
+        for (int j = i + 1; j < n && ok; ++j) {
+          if (assign[static_cast<std::size_t>(i)] ==
+                  assign[static_cast<std::size_t>(j)] &&
+              !compat[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+            ok = false;
+          }
+        }
+      }
+      if (ok) return k;
+      // Next assignment in base k.
+      int pos = 0;
+      while (pos < n) {
+        if (++assign[static_cast<std::size_t>(pos)] < k) break;
+        assign[static_cast<std::size_t>(pos)] = 0;
+        ++pos;
+      }
+      if (pos == n) break;
+    }
+  }
+  return n;
+}
+
+class PressureRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PressureRandomTest, IlpMatchesBruteForceAndGreedyIsValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717 + 5);
+  const int n = rng.next_int(2, 8);
+  const int sets = rng.next_int(1, 4);
+  States states(static_cast<std::size_t>(sets),
+                std::vector<ValveState>(static_cast<std::size_t>(n), X));
+  for (auto& row : states) {
+    for (auto& s : row) {
+      const int r = rng.next_int(0, 2);
+      s = r == 0 ? O : (r == 1 ? C : X);
+    }
+  }
+  const auto compat = valve_compatibility(states);
+  const int expected = brute_force_cover(compat);
+
+  const PressureGroups greedy = pressure_groups_greedy(compat);
+  EXPECT_TRUE(groups_valid(compat, greedy));
+  EXPECT_GE(greedy.num_groups, expected);
+
+  const PressureGroups ilp = pressure_groups_ilp(compat);
+  EXPECT_TRUE(groups_valid(compat, ilp));
+  ASSERT_TRUE(ilp.proven_optimal);
+  EXPECT_EQ(ilp.num_groups, expected);
+  EXPECT_LE(ilp.num_groups, greedy.num_groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PressureRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mlsi::synth

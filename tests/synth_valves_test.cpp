@@ -1,0 +1,175 @@
+// Tests for valve-state derivation and the paper's essential-valve rule,
+// including a reconstruction of the Section 3.5 example (valve C-R carrying
+// flows from both neighbouring inlets is unnecessary).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/crossbar.hpp"
+#include "arch/paths.hpp"
+#include "synth/valves.hpp"
+
+namespace mlsi::synth {
+namespace {
+
+/// Builds a RoutedFlow along named vertices of \p topo.
+RoutedFlow make_flow(const arch::SwitchTopology& topo, int flow, int set,
+                     const std::vector<std::string>& vertex_names) {
+  RoutedFlow rf;
+  rf.flow = flow;
+  rf.set = set;
+  for (const auto& name : vertex_names) {
+    const auto v = topo.vertex_by_name(name);
+    EXPECT_TRUE(v.has_value()) << name;
+    rf.path.vertices.push_back(*v);
+  }
+  for (std::size_t i = 0; i + 1 < rf.path.vertices.size(); ++i) {
+    const auto s = topo.segment_between(rf.path.vertices[i],
+                                        rf.path.vertices[i + 1]);
+    EXPECT_TRUE(s.has_value());
+    rf.path.segments.push_back(*s);
+    rf.path.length_um += topo.segment(*s).length_um;
+  }
+  rf.path.from_pin = rf.path.vertices.front();
+  rf.path.to_pin = rf.path.vertices.back();
+  rf.path.vertex_set = rf.path.vertices;
+  std::sort(rf.path.vertex_set.begin(), rf.path.vertex_set.end());
+  rf.path.segment_set = rf.path.segments;
+  std::sort(rf.path.segment_set.begin(), rf.path.segment_set.end());
+  return rf;
+}
+
+ProblemSpec two_inlet_spec() {
+  ProblemSpec spec;
+  spec.name = "valves";
+  spec.pins_per_side = 2;
+  spec.modules = {"inA", "inB", "o1", "o2"};
+  spec.flows = {{0, 2}, {1, 3}};
+  return spec;
+}
+
+TEST(ValveStateTest, OpenClosedDontCare) {
+  const arch::SwitchTopology topo = arch::make_8pin();
+  // Set 0: T1 -> TL -> T -> T2. Set 1: R1 -> TR -> R -> R2.
+  const std::vector<RoutedFlow> routed = {
+      make_flow(topo, 0, 0, {"T1", "TL", "T", "T2"}),
+      make_flow(topo, 1, 1, {"R1", "TR", "R", "R2"}),
+  };
+  std::vector<int> valves;
+  for (const RoutedFlow& rf : routed) {
+    valves.insert(valves.end(), rf.path.segments.begin(),
+                  rf.path.segments.end());
+  }
+  // Also track a segment adjacent to the first path: T-C.
+  valves.push_back(*topo.segment_by_name("T-C"));
+  const ValveSchedule sched = derive_valve_states(topo, routed, 2, valves);
+
+  const auto state_of = [&](const std::string& name, int set) {
+    const int sid = *topo.segment_by_name(name);
+    const auto it = std::lower_bound(sched.valve_segments.begin(),
+                                     sched.valve_segments.end(), sid);
+    EXPECT_TRUE(it != sched.valve_segments.end() && *it == sid) << name;
+    return sched.states[set][static_cast<std::size_t>(
+        it - sched.valve_segments.begin())];
+  };
+
+  EXPECT_EQ(state_of("TL-T", 0), ValveState::kOpen);
+  EXPECT_EQ(state_of("TL-T", 1), ValveState::kDontCare);
+  EXPECT_EQ(state_of("TR-R", 0), ValveState::kDontCare);
+  EXPECT_EQ(state_of("TR-R", 1), ValveState::kOpen);
+  // T-C touches wet vertex T in set 0 -> must close; set 1: don't care.
+  EXPECT_EQ(state_of("T-C", 0), ValveState::kClosed);
+  EXPECT_EQ(state_of("T-C", 1), ValveState::kDontCare);
+}
+
+TEST(EssentialValvesTest, SingleFlowNeedsNoValves) {
+  // One flow, one inlet: every neighbour segment carries the same reagent,
+  // so the paper rule removes every valve.
+  const arch::SwitchTopology topo = arch::make_8pin();
+  ProblemSpec spec = two_inlet_spec();
+  spec.modules = {"inA", "o1"};
+  spec.flows = {{0, 1}};
+  const std::vector<RoutedFlow> routed = {
+      make_flow(topo, 0, 0, {"T1", "TL", "T", "T2"})};
+  const auto used = union_segments(routed);
+  EXPECT_TRUE(essential_valves_paper(topo, spec, routed, used).empty());
+}
+
+TEST(EssentialValvesTest, TouchingForeignFlowNeedsValves) {
+  const arch::SwitchTopology topo = arch::make_8pin();
+  const ProblemSpec spec = two_inlet_spec();
+  // inA: T1 -> TL -> T -> C -> R -> R2 (set 0);
+  // inB: T2 -> T -> TR -> R -> BR -> B2 (set 1). Shared vertices T and R.
+  const std::vector<RoutedFlow> routed = {
+      make_flow(topo, 0, 0, {"T1", "TL", "T", "C", "R", "R2"}),
+      make_flow(topo, 1, 1, {"T2", "T", "TR", "R", "BR", "B2"}),
+  };
+  const auto used = union_segments(routed);
+  const auto essential = essential_valves_paper(topo, spec, routed, used);
+  EXPECT_FALSE(essential.empty());
+  // The segment T-C carries only inA but neighbours T-T2 and T-TR (inB):
+  // its valve must be able to close.
+  const int tc = *topo.segment_by_name("T-C");
+  EXPECT_TRUE(std::binary_search(essential.begin(), essential.end(), tc));
+}
+
+TEST(EssentialValvesTest, PaperSectionThreeFiveExample) {
+  // Fig. 3.1(b)-like situation: the valve on C-R carries flows from both
+  // inlets (R2 and L1); its used neighbours carry flows from the same two
+  // inlets only, so it "can always be at the open status".
+  const arch::SwitchTopology topo = arch::make_8pin();
+  ProblemSpec spec;
+  spec.pins_per_side = 2;
+  spec.modules = {"iR2", "iL1", "oT1", "oB1"};
+  spec.flows = {{0, 2}, {1, 3}};
+  const std::vector<RoutedFlow> routed = {
+      // flow of inlet R2 through R-C then up to T1: uses C-R.
+      make_flow(topo, 0, 0, {"R2", "R", "C", "T", "TL", "T1"}),
+      // flow of inlet L1 through C-R's other side? Use L1 -> L -> C -> B -> B1
+      // and a second segment sharing C-R's neighbourhood via C.
+      make_flow(topo, 1, 1, {"L1", "L", "C", "B", "B1"}),
+  };
+  const auto used = union_segments(routed);
+  const auto essential = essential_valves_paper(topo, spec, routed, used);
+  // C-R carries inlet R2; neighbour L-C carries inlet L1, which C-R does NOT
+  // carry -> valve on C-R must stay (this variant differs from the thesis
+  // figure where C-R carried both).
+  const int cr = *topo.segment_by_name("C-R");
+  EXPECT_TRUE(std::binary_search(essential.begin(), essential.end(), cr));
+
+  // Now reproduce the thesis case: make the L1 flow also use C-R by routing
+  // it L1 -> L -> C -> R -> BR -> B2 instead.
+  ProblemSpec spec2 = spec;
+  spec2.modules = {"iR2", "iL1", "oT1", "oB2"};
+  const std::vector<RoutedFlow> routed2 = {
+      make_flow(topo, 0, 0, {"R2", "R", "C", "T", "TL", "T1"}),
+      make_flow(topo, 1, 1, {"L1", "L", "C", "R", "BR", "B2"}),
+  };
+  const auto used2 = union_segments(routed2);
+  const auto essential2 =
+      essential_valves_paper(topo, spec2, routed2, used2);
+  // C-R now carries both inlets; its neighbours carry only those inlets, so
+  // the paper rule removes its valve.
+  EXPECT_FALSE(std::binary_search(essential2.begin(), essential2.end(),
+                                  *topo.segment_by_name("C-R")));
+}
+
+TEST(EssentialValvesTest, RespectsValveFreeSegments) {
+  // On a topology whose segment has no valve site, the reduction never
+  // reports it (exercised with a doctored crossbar).
+  arch::SwitchTopology topo = arch::make_8pin();
+  const ProblemSpec spec = two_inlet_spec();
+  const std::vector<RoutedFlow> routed = {
+      make_flow(topo, 0, 0, {"T1", "TL", "T", "C", "R", "R2"}),
+      make_flow(topo, 1, 1, {"T2", "T", "C", "B", "B1"}),
+  };
+  const auto used = union_segments(routed);
+  const auto essential = essential_valves_paper(topo, spec, routed, used);
+  for (const int e : essential) {
+    EXPECT_TRUE(topo.segment(e).has_valve);
+  }
+}
+
+}  // namespace
+}  // namespace mlsi::synth

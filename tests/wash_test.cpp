@@ -1,0 +1,83 @@
+// Tests for wash-operation planning (the prior-work alternative).
+
+#include <gtest/gtest.h>
+
+#include "cases/cases.hpp"
+#include "sim/spine_baseline.hpp"
+#include "sim/wash.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::sim {
+namespace {
+
+using synth::BindingPolicy;
+
+TEST(WashTest, ContaminationFreeSwitchNeedsNoWashes) {
+  const synth::ProblemSpec spec =
+      cases::nucleic_acid(BindingPolicy::kUnfixed);
+  synth::Synthesizer syn(spec);
+  const auto result = syn.synthesize();
+  ASSERT_TRUE(result.ok());
+  const WashPlan plan =
+      plan_washes(make_program(syn.topology(), spec, *result));
+  EXPECT_EQ(plan.num_washes(), 0);
+  EXPECT_EQ(plan.unwashable, 0);
+  EXPECT_EQ(plan.total_steps, result->num_sets);
+}
+
+TEST(WashTest, SequentialSpineNeedsWashes) {
+  const synth::ProblemSpec spec =
+      cases::nucleic_acid(BindingPolicy::kUnfixed);
+  const SpineBaseline baseline =
+      route_on_spine(spec, SpineSchedule::kSequential);
+  const WashPlan plan = plan_washes(baseline.program);
+  // Three mutually conflicting eluates share the spine in consecutive
+  // steps: a wash is needed before each conflicting reuse.
+  EXPECT_GT(plan.num_washes(), 0);
+  EXPECT_EQ(plan.unwashable, 0) << "sequential flows are washable";
+  EXPECT_EQ(plan.total_steps,
+            baseline.program.num_sets + plan.num_washes());
+  EXPECT_GT(plan.resolved_encounters, 0);
+  // Washes are listed ascending and within range.
+  for (std::size_t i = 0; i < plan.wash_before_set.size(); ++i) {
+    EXPECT_GE(plan.wash_before_set[i], 0);
+    EXPECT_LT(plan.wash_before_set[i], baseline.program.num_sets);
+    if (i > 0) {
+      EXPECT_LT(plan.wash_before_set[i - 1], plan.wash_before_set[i]);
+    }
+  }
+}
+
+TEST(WashTest, ParallelConflictsAreUnwashable) {
+  const synth::ProblemSpec spec =
+      cases::mrna_isolation(BindingPolicy::kUnfixed);
+  const SpineBaseline baseline =
+      route_on_spine(spec, SpineSchedule::kParallel);
+  const WashPlan plan = plan_washes(baseline.program);
+  EXPECT_GT(plan.unwashable, 0)
+      << "simultaneous conflicting fluids cannot be separated by washing";
+}
+
+TEST(WashTest, NonConflictingReuseNeedsNoWash) {
+  // A spine case without conflicts: sequential reuse is legitimate.
+  const synth::ProblemSpec spec = cases::chip_sw2(BindingPolicy::kUnfixed);
+  const SpineBaseline baseline =
+      route_on_spine(spec, SpineSchedule::kSequential);
+  const WashPlan plan = plan_washes(baseline.program);
+  EXPECT_EQ(plan.num_washes(), 0);
+  EXPECT_EQ(plan.unwashable, 0);
+}
+
+TEST(WashTest, WashClearsResidueState) {
+  // After a wash, earlier residues are gone: ChIP's spine needs exactly one
+  // wash before the i10 step even though several i11 steps precede it.
+  const synth::ProblemSpec spec = cases::chip_sw1(BindingPolicy::kUnfixed);
+  const SpineBaseline baseline =
+      route_on_spine(spec, SpineSchedule::kSequential);
+  const WashPlan plan = plan_washes(baseline.program);
+  EXPECT_GE(plan.num_washes(), 1);
+  EXPECT_LE(plan.num_washes(), baseline.program.num_sets - 1);
+}
+
+}  // namespace
+}  // namespace mlsi::sim

@@ -1,0 +1,226 @@
+// mlsi_synth — command-line switch synthesis.
+//
+// Usage:
+//   mlsi_synth <case.json> [options]
+//
+// Options:
+//   --policy fixed|clockwise|unfixed   override the case's binding policy
+//   --engine cp|iqp                    synthesis engine (default cp)
+//   --time-limit <seconds>             wall budget (default 120)
+//   --pressure off|greedy|ilp          pressure sharing (default ilp)
+//   --no-reduction                     keep a valve on every used segment
+//   --svg <path>                       write the synthesized switch drawing
+//   --control <path>                   route the control layer, write overlay
+//   --json <path>                      write the machine-readable result
+//   --export-lp <path>                 write the paper's IQP model in CPLEX
+//                                      LP format (for Gurobi/SCIP/HiGHS)
+//   --quiet                            suppress the human-readable report
+//
+// Exit codes: 0 success (validated), 2 infeasible, 3 budget exhausted,
+// 1 any other error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "control/router.hpp"
+#include "io/case_io.hpp"
+#include "opt/lp_format.hpp"
+#include "synth/iqp_engine.hpp"
+#include "io/report.hpp"
+#include "io/svg.hpp"
+#include "sim/simulator.hpp"
+#include "support/strings.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace mlsi;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <case.json> [--policy P] [--engine cp|iqp] "
+               "[--time-limit S] [--pressure off|greedy|ilp] "
+               "[--no-reduction] [--svg F] [--control F] [--json F] "
+               "[--quiet]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string case_path = argv[1];
+
+  std::string policy_override;
+  std::string svg_path;
+  std::string control_path;
+  std::string json_path;
+  std::string lp_path;
+  bool quiet = false;
+  synth::SynthesisOptions options;
+  options.engine_params.time_limit_s = 120.0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      policy_override = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "cp") == 0) {
+        options.engine = synth::EngineChoice::kCp;
+      } else if (std::strcmp(v, "iqp") == 0) {
+        options.engine = synth::EngineChoice::kIqp;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--time-limit") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.engine_params.time_limit_s = std::atof(v);
+    } else if (arg == "--pressure") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "off") == 0) {
+        options.pressure = synth::PressureMode::kOff;
+      } else if (std::strcmp(v, "greedy") == 0) {
+        options.pressure = synth::PressureMode::kGreedy;
+      } else if (std::strcmp(v, "ilp") == 0) {
+        options.pressure = synth::PressureMode::kIlp;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-reduction") {
+      options.reduction = synth::ValveReductionRule::kNone;
+    } else if (arg == "--svg") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      svg_path = v;
+    } else if (arg == "--control") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      control_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--export-lp") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      lp_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  auto spec = io::load_spec(case_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().to_string().c_str());
+    return 1;
+  }
+  if (!policy_override.empty()) {
+    const auto policy = synth::binding_policy_from_string(policy_override);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "error: %s\n", policy.status().to_string().c_str());
+      return 1;
+    }
+    spec->policy = *policy;
+    const Status revalidated = spec->validate();
+    if (!revalidated.ok()) {
+      std::fprintf(stderr,
+                   "error: case is not usable under --policy %s: %s\n",
+                   policy_override.c_str(), revalidated.to_string().c_str());
+      return 1;
+    }
+  }
+
+  synth::Synthesizer synthesizer(*spec, options);
+  if (!lp_path.empty()) {
+    const auto model = synth::build_iqp_model(synthesizer.topology(),
+                                              synthesizer.paths(), *spec);
+    if (!model.ok()) {
+      std::fprintf(stderr, "export-lp: %s\n",
+                   model.status().to_string().c_str());
+    } else {
+      const Status s = opt::save_lp_format(lp_path, *model);
+      if (!s.ok()) {
+        std::fprintf(stderr, "export-lp: %s\n", s.to_string().c_str());
+      } else if (!quiet) {
+        std::printf("wrote IQP model (%d vars, %d constraints) to %s\n",
+                    model->num_vars(), model->num_constraints(),
+                    lp_path.c_str());
+      }
+    }
+  }
+  auto result = synthesizer.synthesize();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    switch (result.status().code()) {
+      case StatusCode::kInfeasible: return 2;
+      case StatusCode::kTimeout: return 3;
+      default: return 1;
+    }
+  }
+  const auto outcome = sim::harden(synthesizer.topology(), *spec, *result);
+
+  if (!quiet) {
+    io::TextTable table({"feature", "value"});
+    table.add_row({"case", spec->name});
+    table.add_row({"switch", synthesizer.topology().name()});
+    table.add_row({"binding policy", std::string{to_string(spec->policy)}});
+    table.add_row({"engine", result->stats.engine});
+    table.add_row({"runtime (s)", fmt_double(result->stats.runtime_s, 3)});
+    table.add_row({"proven optimal",
+                   result->stats.proven_optimal ? "yes" : "no (budget)"});
+    table.add_row({"flow sets", cat(result->num_sets)});
+    table.add_row({"channel length (mm)",
+                   fmt_double(result->flow_length_mm, 1)});
+    table.add_row({"essential valves", cat(result->num_valves())});
+    table.add_row({"control inlets", cat(result->num_pressure_groups)});
+    table.add_row({"valve reduction",
+                   std::string{to_string(outcome.level)}});
+    table.add_row({"flow simulation", outcome.report.summary()});
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  if (!svg_path.empty()) {
+    const Status s = io::write_svg(
+        svg_path, io::render_result(synthesizer.topology(), *spec, *result));
+    if (!s.ok()) std::fprintf(stderr, "svg: %s\n", s.to_string().c_str());
+  }
+  if (!json_path.empty()) {
+    const Status s = json::write_file(
+        json_path,
+        io::result_to_json(synthesizer.topology(), *spec, *result));
+    if (!s.ok()) std::fprintf(stderr, "json: %s\n", s.to_string().c_str());
+  }
+  if (!control_path.empty()) {
+    const auto plan = control::route_control(synthesizer.topology(), *result);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "control routing: %s\n",
+                   plan.status().to_string().c_str());
+    } else {
+      if (!quiet) {
+        std::printf("control layer: %zu nets, %.1f mm channel, %d flow "
+                    "crossings\n",
+                    plan->nets.size(), plan->total_length_mm,
+                    plan->total_crossings);
+      }
+      const Status s = io::write_svg(
+          control_path,
+          control::render_control_svg(synthesizer.topology(), *result, *plan));
+      if (!s.ok()) std::fprintf(stderr, "control svg: %s\n", s.to_string().c_str());
+    }
+  }
+  return outcome.report.ok() ? 0 : 1;
+}
