@@ -55,7 +55,7 @@ int main() {
   for (const synth::ProblemSpec& spec : specs) {
     synth::Synthesizer synthesizer(spec);  // shared topology + paths
     synth::EngineParams params;
-    params.time_limit_s = 240.0;
+    params.deadline = support::Deadline::after(240.0);
     const auto cp =
         synth::solve_cp(synthesizer.topology(), synthesizer.paths(), spec, params);
     const auto iqp = synth::solve_iqp(synthesizer.topology(),

@@ -35,7 +35,7 @@ int main() {
   for (const Entry& entry : entries) {
     const synth::ProblemSpec spec = entry.make(entry.policy);
     synth::SynthesisOptions options;
-    options.engine_params.time_limit_s = 60.0;
+    options.engine_params.deadline = support::Deadline::after(60.0);
     synth::Synthesizer synthesizer(spec, options);
     const auto result = synthesizer.synthesize();
     if (!result.ok()) continue;

@@ -44,7 +44,7 @@ int main() {
     const synth::ProblemSpec spec = entry.make(entry.policy);
     // Route once (reduction does not affect routing).
     synth::SynthesisOptions options;
-    options.engine_params.time_limit_s = 60.0;
+    options.engine_params.deadline = support::Deadline::after(60.0);
     options.reduction = ValveReductionRule::kNone;
     synth::Synthesizer synthesizer(spec, options);
     auto routed = synthesizer.synthesize();

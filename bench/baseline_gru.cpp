@@ -36,7 +36,7 @@ void run_on(const arch::SwitchTopology& topo, const arch::PathSet& paths,
             const synth::ProblemSpec& spec, Tally& tally) {
   ++tally.cases;
   synth::EngineParams params;
-  params.time_limit_s = 20.0;
+  params.deadline = support::Deadline::after(20.0);
   const auto result = synth::solve_cp(topo, paths, spec, params);
   if (!result.ok()) return;
   ++tally.solved;

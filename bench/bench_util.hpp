@@ -47,7 +47,7 @@ inline RunOutcome run_case(const synth::ProblemSpec& spec,
                            synth::SynthesisOptions options = {}) {
   RunOutcome out;
   out.spec = spec;
-  options.engine_params.time_limit_s = time_limit_s;
+  options.engine_params.deadline = support::Deadline::after(time_limit_s);
   synth::Synthesizer synthesizer(spec, options);
   out.switch_name = synthesizer.topology().name();
   out.result = synthesizer.synthesize();

@@ -39,7 +39,7 @@ int main() {
     // One synthesis, two pressure modes applied on top.
     synth::SynthesisOptions opts_off;
     opts_off.pressure = synth::PressureMode::kOff;
-    opts_off.engine_params.time_limit_s = 60.0;
+    opts_off.engine_params.deadline = support::Deadline::after(60.0);
     synth::Synthesizer syn(spec, opts_off);
     auto off = syn.synthesize();
     if (!off.ok()) continue;

@@ -51,7 +51,7 @@ int main() {
   for (const double slack_um : {0.0, 800.0}) {
     synth::ProblemSpec spec = cases::mrna_13(BindingPolicy::kUnfixed);
     synth::SynthesisOptions options;
-    options.engine_params.time_limit_s = 100.0;
+    options.engine_params.deadline = support::Deadline::after(100.0);
     options.path_options.slack_um = slack_um;
     options.path_options.max_paths_per_pair = 24;
     synth::Synthesizer syn(spec, options);

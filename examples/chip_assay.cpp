@@ -36,7 +36,7 @@ int main() {
         BindingPolicy::kUnfixed}) {
     const synth::ProblemSpec spec = cases::chip_sw1(policy);
     synth::SynthesisOptions options;
-    options.engine_params.time_limit_s = 60.0;
+    options.engine_params.deadline = support::Deadline::after(60.0);
     synth::Synthesizer synthesizer(spec, options);
     auto result = synthesizer.synthesize();
     if (!result.ok()) {

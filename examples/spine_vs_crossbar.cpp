@@ -41,7 +41,7 @@ int main() {
 
   // --- this work: crossbar synthesis -----------------------------------------
   synth::SynthesisOptions options;
-  options.engine_params.time_limit_s = 120.0;
+  options.engine_params.deadline = support::Deadline::after(120.0);
   synth::Synthesizer synthesizer(spec, options);
   auto result = synthesizer.synthesize();
   if (!result.ok()) {

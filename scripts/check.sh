@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification: full build + test suite, then the concurrency tests
+# (thread pool, stop tokens, portfolio races) again under ThreadSanitizer.
+#
+#   scripts/check.sh            # from the repo root
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+    --target exec_test synth_portfolio_test mlsi_synth_cli
+build-tsan/tests/exec_test
+build-tsan/tests/synth_portfolio_test
+build-tsan/tools/mlsi_synth tests/data/demo_clockwise.json \
+    --engine portfolio --jobs 4 --quiet
+
+echo "check.sh: all green (tier-1 + ThreadSanitizer)"

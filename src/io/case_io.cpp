@@ -151,6 +151,7 @@ Value result_to_json(const arch::SwitchTopology& topo,
                      const ProblemSpec& spec,
                      const synth::SynthesisResult& result) {
   Object obj;
+  obj["version"] = Value{kResultSchemaVersion};
   obj["case"] = Value{spec.name};
   obj["policy"] = Value{std::string{to_string(spec.policy)}};
   obj["switch"] = Value{topo.name()};

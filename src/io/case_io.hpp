@@ -37,9 +37,15 @@ Result<synth::ProblemSpec> load_spec(const std::string& path);
 json::Value spec_to_json(const synth::ProblemSpec& spec);
 Status save_spec(const std::string& path, const synth::ProblemSpec& spec);
 
+/// Version of the machine-readable result schema emitted by
+/// result_to_json() (the "version" field). Bump on any breaking change to
+/// field names or meanings; the full schema is documented in README.md.
+inline constexpr int kResultSchemaVersion = 1;
+
 /// Serializes a synthesis result (for EXPERIMENTS.md-style records): the
 /// schedule, binding, per-flow paths by segment names, lengths, valves and
-/// pressure groups.
+/// pressure groups. The document carries "version" = kResultSchemaVersion
+/// so downstream consumers can detect schema changes.
 json::Value result_to_json(const arch::SwitchTopology& topo,
                            const synth::ProblemSpec& spec,
                            const synth::SynthesisResult& result);

@@ -42,8 +42,7 @@ class BranchAndBound {
   BranchAndBound(Model model, const MilpParams& params, int original_vars)
       : model_(std::move(model)),
         params_(params),
-        original_vars_(original_vars),
-        deadline_(params.time_limit_s) {
+        original_vars_(original_vars) {
     build_lp();
   }
 
@@ -62,7 +61,6 @@ class BranchAndBound {
   Model model_;
   const MilpParams& params_;
   int original_vars_;
-  Deadline deadline_;
 
   LpProblem lp_;           // bounds mutated in place during the search
   double obj_sign_ = 1.0;  // +1 minimize, -1 maximize (LP always minimizes)
@@ -118,7 +116,8 @@ void BranchAndBound::build_lp() {
 LpResult BranchAndBound::solve_relaxation(
     const std::vector<int>* warm_basis) {
   LpParams lp_params = params_.lp;
-  lp_params.deadline = deadline_;
+  lp_params.deadline = params_.deadline;
+  lp_params.stop = params_.stop;
   lp_params.warm_basis = warm_basis;
   LpResult res = solve_lp(lp_, lp_params);
   stats_.lp_iterations += res.iterations;
@@ -175,7 +174,8 @@ void BranchAndBound::accept_incumbent(const std::vector<double>& x,
 }
 
 bool BranchAndBound::explore(const std::vector<int>* parent_basis) {
-  if (deadline_.expired() || stats_.nodes >= params_.max_nodes) {
+  if (params_.deadline.expired() || params_.stop.stop_requested() ||
+      stats_.nodes >= params_.max_nodes) {
     truncated_ = true;
     return false;
   }

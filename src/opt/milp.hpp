@@ -54,7 +54,13 @@ struct Solution {
 };
 
 struct MilpParams {
-  double time_limit_s = 0.0;  ///< <= 0: unlimited
+  /// Absolute wall-clock limit; unlimited by default. Construct with
+  /// Deadline::after(seconds) at launch time — being absolute, the same
+  /// deadline propagates unchanged into every LP relaxation.
+  Deadline deadline;
+  /// Cooperative cancellation: checked at every B&B node and LP pivot; the
+  /// search unwinds with its best incumbent (kFeasible/kUnknown).
+  support::StopToken stop;
   long max_nodes = 50'000'000;
   double int_tol = 1e-6;
   /// Nodes whose LP bound is within this of the incumbent are pruned.

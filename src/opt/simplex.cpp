@@ -479,7 +479,8 @@ bool Simplex::run_phase1() {
   int stall = 0;
   bool bland = false;
   while (true) {
-    if (++iters_ > params_.max_iters || params_.deadline.expired()) {
+    if (++iters_ > params_.max_iters || params_.deadline.expired() ||
+        params_.stop.stop_requested()) {
       status_ = LpStatus::kIterLimit;
       return false;
     }
@@ -580,7 +581,8 @@ bool Simplex::run_phase2() {
       basis_repaired_ = false;
       return true;
     }
-    if (++iters_ > params_.max_iters || params_.deadline.expired()) {
+    if (++iters_ > params_.max_iters || params_.deadline.expired() ||
+        params_.stop.stop_requested()) {
       status_ = LpStatus::kIterLimit;
       return false;
     }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "support/executor.hpp"
 #include "support/timer.hpp"
 
 namespace mlsi::opt {
@@ -65,6 +66,9 @@ struct LpParams {
   /// Iterations without objective progress before switching to Bland's rule.
   int stall_limit = 256;
   Deadline deadline;  ///< unlimited by default
+  /// Cooperative cancellation: checked once per pivot alongside the
+  /// deadline. Default-constructed: never stops.
+  support::StopToken stop;
   /// Optional starting basis (size = #rows, entries are column ids as in
   /// LpResult::basis). The basis matrix is independent of variable bounds,
   /// so a parent node's basis is always valid for a child; phase 1 then

@@ -1,0 +1,77 @@
+#include "support/argparse.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace mlsi::support {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  tokens_.reserve(argc > 1 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  consumed_.assign(tokens_.size(), false);
+}
+
+void ArgParser::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+bool ArgParser::flag(std::string_view name) {
+  bool found = false;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (!consumed_[i] && tokens_[i] == name) {
+      consumed_[i] = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::optional<std::string> ArgParser::option(std::string_view name) {
+  std::optional<std::string> value;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (consumed_[i] || tokens_[i] != name) continue;
+    consumed_[i] = true;
+    if (i + 1 >= tokens_.size() || consumed_[i + 1]) {
+      fail(cat("option ", name, " requires a value"));
+      return std::nullopt;
+    }
+    consumed_[i + 1] = true;
+    value = tokens_[i + 1];  // last occurrence wins
+  }
+  return value;
+}
+
+double ArgParser::number(std::string_view name, double fallback) {
+  const auto raw = option(name);
+  if (!raw.has_value()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    fail(cat("option ", name, " expects a number, got '", *raw, "'"));
+    return fallback;
+  }
+  return parsed;
+}
+
+Status ArgParser::finish(int expected_positionals) {
+  positionals_.clear();
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (consumed_[i]) continue;
+    if (tokens_[i].size() >= 2 && tokens_[i][0] == '-' &&
+        !(tokens_[i][1] >= '0' && tokens_[i][1] <= '9')) {
+      fail(cat("unknown option: ", tokens_[i]));
+    } else {
+      positionals_.push_back(tokens_[i]);
+    }
+  }
+  if (error_.empty() && expected_positionals >= 0 &&
+      static_cast<int>(positionals_.size()) != expected_positionals) {
+    fail(cat("expected ", expected_positionals, " positional argument(s), got ",
+             positionals_.size()));
+  }
+  if (!error_.empty()) return Status::InvalidArgument(error_);
+  return Status::Ok();
+}
+
+}  // namespace mlsi::support

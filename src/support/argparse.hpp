@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file argparse.hpp
+/// \brief Minimal declarative command-line parsing for the tools.
+///
+/// Replaces hand-rolled argv loops. Usage pattern:
+///
+/// \code
+///   support::ArgParser args(argc, argv);
+///   const bool quiet = args.flag("--quiet");
+///   const auto svg = args.option("--svg");             // optional value
+///   const double budget = args.number("--time-limit", 120.0);
+///   const Status parsed = args.finish(1);              // 1 positional arg
+///   if (!parsed.ok()) { ... print usage ... }
+/// \endcode
+///
+/// Query all flags/options first, then call finish(): any token that no
+/// query consumed is either a positional argument (collected in
+/// positionals()) or, if it looks like an option, reported as an error.
+/// Repeated options keep the last occurrence ("-x a -x b" yields "b").
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace mlsi::support {
+
+class ArgParser {
+ public:
+  /// Wraps argv[1..argc); argv[0] (the program name) is skipped.
+  ArgParser(int argc, const char* const* argv);
+
+  /// True when \p name appears; consumes every occurrence.
+  bool flag(std::string_view name);
+
+  /// Value of "name <value>", or nullopt when absent. A trailing \p name
+  /// with no value records an error surfaced by finish().
+  std::optional<std::string> option(std::string_view name);
+
+  /// Numeric option with a default; a non-numeric value records an error.
+  double number(std::string_view name, double fallback);
+
+  /// Validates the leftovers: exactly \p expected_positionals non-option
+  /// tokens (negative: any number) and no unrecognized option tokens.
+  /// Returns the first recorded error otherwise.
+  [[nodiscard]] Status finish(int expected_positionals = -1);
+
+  /// Non-option tokens in order; populated by finish().
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+ private:
+  void fail(std::string message);
+
+  std::vector<std::string> tokens_;
+  std::vector<bool> consumed_;
+  std::vector<std::string> positionals_;
+  std::string error_;  ///< first recorded error, empty when clean
+};
+
+}  // namespace mlsi::support

@@ -1,0 +1,62 @@
+#include "support/executor.hpp"
+
+namespace mlsi::support {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      // Drain remaining tasks even during shutdown: submitted work runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace mlsi::support

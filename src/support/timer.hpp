@@ -5,8 +5,12 @@
 ///
 /// The synthesis engines report program runtime (column T in the paper's
 /// tables) and honour solver deadlines; both are expressed through these
-/// small types.
+/// small types. Deadline is an *absolute* point on the monotonic clock, so
+/// it propagates losslessly through nested solves (engine -> MILP -> LP):
+/// every layer compares against the same expiry instead of re-deriving a
+/// remaining budget from floats.
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -34,7 +38,10 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// A wall-clock budget. A non-positive budget means "no limit".
+namespace support {
+
+/// A wall-clock budget, pinned to an absolute monotonic-clock expiry.
+/// Default-constructed (or from a non-positive budget): no limit.
 class Deadline {
  public:
   /// No limit.
@@ -48,6 +55,26 @@ class Deadline {
                 std::chrono::duration_cast<Timer::Clock::duration>(
                     std::chrono::duration<double>(budget_seconds));
     }
+  }
+
+  /// Named constructors, reading better at call sites.
+  static Deadline unlimited() { return Deadline{}; }
+  static Deadline after(double budget_seconds) {
+    return Deadline{budget_seconds};
+  }
+  static Deadline at(Timer::Clock::time_point expiry) {
+    Deadline d;
+    d.limited_ = true;
+    d.expiry_ = expiry;
+    return d;
+  }
+
+  /// The earlier of two deadlines — how a parent budget propagates into a
+  /// nested solve that may also carry its own limit.
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    if (!a.limited_) return b;
+    if (!b.limited_) return a;
+    return at(std::min(a.expiry_, b.expiry_));
   }
 
   [[nodiscard]] bool limited() const { return limited_; }
@@ -66,5 +93,9 @@ class Deadline {
   bool limited_ = false;
   Timer::Clock::time_point expiry_{};
 };
+
+}  // namespace support
+
+using support::Deadline;
 
 }  // namespace mlsi

@@ -16,11 +16,7 @@ class CpSearch {
  public:
   CpSearch(const arch::SwitchTopology& topo, const arch::PathSet& paths,
            const ProblemSpec& spec, const EngineParams& params)
-      : topo_(topo),
-        paths_(paths),
-        spec_(spec),
-        params_(params),
-        deadline_(params.time_limit_s) {}
+      : topo_(topo), paths_(paths), spec_(spec), params_(params) {}
 
   Result<SynthesisResult> run();
 
@@ -37,10 +33,21 @@ class CpSearch {
   }
   [[nodiscard]] bool out_of_budget() {
     if (truncated_) return true;
-    if (nodes_ >= params_.max_nodes || deadline_.expired()) {
+    if (nodes_ >= params_.max_nodes || params_.deadline.expired() ||
+        params_.stop.stop_requested()) {
       truncated_ = true;
     }
     return truncated_;
+  }
+  /// Objective upper bound to prune against: the local incumbent, tightened
+  /// by the portfolio's shared incumbent when racing.
+  [[nodiscard]] double bound_obj() const {
+    double b = best_obj_;
+    if (params_.shared_incumbent != nullptr) {
+      b = std::min(
+          b, params_.shared_incumbent->load(std::memory_order_relaxed));
+    }
+    return b;
   }
   /// Added union length (um) if \p path were placed now.
   [[nodiscard]] double added_length_um(const arch::Path& path) const;
@@ -51,7 +58,6 @@ class CpSearch {
   const arch::PathSet& paths_;
   const ProblemSpec& spec_;
   const EngineParams& params_;
-  Deadline deadline_;
 
   int num_pins_ = 0;
   int max_sets_ = 0;
@@ -173,6 +179,14 @@ double CpSearch::added_length_um(const arch::Path& path) const {
 
 void CpSearch::record_incumbent() {
   const double obj = partial_cost(sets_used_);
+  if (params_.shared_incumbent != nullptr) {
+    // Atomic-min publish so sibling racers prune against this incumbent.
+    auto& shared = *params_.shared_incumbent;
+    double cur = shared.load(std::memory_order_relaxed);
+    while (obj < cur && !shared.compare_exchange_weak(
+                            cur, obj, std::memory_order_relaxed)) {
+    }
+  }
   if (obj < best_obj_ - kObjEps) {
     best_obj_ = obj;
     have_best_ = true;
@@ -206,7 +220,7 @@ void CpSearch::place_and_recurse(int pos, int flow, const arch::Path& path,
       spec_.beta *
           (new_len_um + suffix_bound_um_[static_cast<std::size_t>(pos + 1)]) /
           1000.0;
-  if (have_best_ && lb >= best_obj_ - kObjEps) return;
+  if (lb >= bound_obj() - kObjEps) return;
 
   // Apply.
   std::vector<int> owned;  // vertices newly claimed (for undo)
@@ -244,11 +258,10 @@ void CpSearch::dfs(int pos) {
     record_incumbent();
     return;
   }
-  if (have_best_ &&
-      partial_cost(sets_used_) +
-              spec_.beta * suffix_bound_um_[static_cast<std::size_t>(pos)] /
-                  1000.0 >=
-          best_obj_ - kObjEps) {
+  if (partial_cost(sets_used_) +
+          spec_.beta * suffix_bound_um_[static_cast<std::size_t>(pos)] /
+              1000.0 >=
+      bound_obj() - kObjEps) {
     return;
   }
 
@@ -392,9 +405,13 @@ void CpSearch::enumerate_clockwise(std::vector<int>& pin_of_order,
     return;
   }
   if (order_pos == 0) {
-    for (int p0 = 0; p0 < num_pins_; ++p0) {
+    // The portfolio partitions this outer loop: worker w of W takes the
+    // first-pin residue class p0 % W == w. (1, 0) covers the whole space.
+    const int stride = std::max(1, params_.clockwise_stride);
+    for (int p0 = params_.clockwise_offset; p0 < num_pins_; p0 += stride) {
       pin_of_order[0] = p0;
       enumerate_clockwise(pin_of_order, 1);
+      if (out_of_budget()) return;
     }
     return;
   }

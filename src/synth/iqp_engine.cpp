@@ -442,6 +442,10 @@ Result<SynthesisResult> IqpBuilder::extract(const opt::Solution& sol,
 
 Result<SynthesisResult> IqpBuilder::run() {
   Timer timer;
+  if (params_.deadline.expired() || params_.stop.stop_requested()) {
+    return Status::Timeout(
+        "IQP solve cancelled before the model was built");
+  }
   const Status collected = collect_candidates();
   if (!collected.ok()) return collected;
   build_model();
@@ -450,10 +454,8 @@ Result<SynthesisResult> IqpBuilder::run() {
              model_.num_constraints(), " constraints");
   }
   opt::MilpParams milp = params_.milp;
-  if (params_.time_limit_s > 0 &&
-      (milp.time_limit_s <= 0 || milp.time_limit_s > params_.time_limit_s)) {
-    milp.time_limit_s = params_.time_limit_s;
-  }
+  milp.deadline = support::Deadline::sooner(milp.deadline, params_.deadline);
+  milp.stop = params_.stop;
   milp.log = params_.log;
   const opt::Solution sol = opt::solve_milp(model_, milp);
   switch (sol.status) {

@@ -1,0 +1,200 @@
+#include "synth/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+
+#include "support/executor.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "synth/cp_engine.hpp"
+#include "synth/iqp_engine.hpp"
+
+namespace mlsi::synth {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One concurrent solve attempt.
+struct Racer {
+  std::string label;
+  EngineFn engine = nullptr;
+  EngineParams params;
+  /// Clockwise partitions are only decisive collectively; a lone exact
+  /// racer (cp or iqp on the whole problem) decides the race by itself.
+  bool partition = false;
+};
+
+/// A racer outcome that settles the race on its own: a proven optimum or a
+/// proof of infeasibility. Budget-truncated incumbents and size-guard
+/// rejections are not decisive.
+bool decisive(const Result<SynthesisResult>& outcome) {
+  if (outcome.ok()) return outcome->stats.proven_optimal;
+  return outcome.status().code() == StatusCode::kInfeasible;
+}
+
+}  // namespace
+
+Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
+                                        const arch::PathSet& paths,
+                                        const ProblemSpec& spec,
+                                        const EngineParams& params) {
+  const Status valid = spec.validate();
+  if (!valid.ok()) return valid;
+
+  Timer timer;
+  const int jobs = support::ThreadPool::resolve_jobs(params.jobs);
+  support::StopSource cancel;
+  const auto shared_incumbent =
+      std::make_shared<std::atomic<double>>(kInf);
+
+  // Racer plan. Every racer inherits the caller's deadline; cancellation is
+  // rewired to the race-local source (the caller's token is polled below
+  // and forwarded).
+  EngineParams base = params;
+  base.stop = cancel.token();
+  base.jobs = 1;
+  base.shared_incumbent = nullptr;
+  base.clockwise_stride = 1;
+  base.clockwise_offset = 0;
+
+  std::vector<Racer> racers;
+  if (spec.policy == BindingPolicy::kClockwise) {
+    // Partition the outer cyclic-shift enumeration across the workers; the
+    // shared incumbent lets any worker's solution prune every other's dive.
+    const int parts = std::clamp(jobs, 1, topo.num_pins());
+    for (int w = 0; w < parts; ++w) {
+      Racer r;
+      r.label = cat("cp[", w, "/", parts, "]");
+      r.engine = &solve_cp;
+      r.params = base;
+      r.params.shared_incumbent = shared_incumbent;
+      r.params.clockwise_stride = parts;
+      r.params.clockwise_offset = w;
+      r.partition = true;
+      racers.push_back(std::move(r));
+    }
+  } else {
+    racers.push_back({"cp", &solve_cp, base, false});
+    racers.push_back({"iqp", &solve_iqp, base, false});
+  }
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int remaining = static_cast<int>(racers.size());
+  std::vector<Result<SynthesisResult>> outcomes(
+      racers.size(), Result<SynthesisResult>{Status::Internal("not run")});
+
+  {
+    support::ThreadPool pool(
+        std::min<int>(jobs, static_cast<int>(racers.size())));
+    for (std::size_t i = 0; i < racers.size(); ++i) {
+      pool.submit([&, i] {
+        const Racer& racer = racers[i];
+        Result<SynthesisResult> outcome =
+            racer.engine(topo, paths, spec, racer.params);
+        std::unique_lock lock(mutex);
+        if (params.log) {
+          log_info("portfolio: ", racer.label, " finished: ",
+                   outcome.ok() ? cat("obj=", outcome->objective,
+                                      outcome->stats.proven_optimal
+                                          ? " (proven)"
+                                          : " (incumbent)")
+                                : outcome.status().to_string());
+        }
+        // A lone exact racer deciding the race cancels every other racer;
+        // clockwise partitions only decide collectively (all must finish).
+        if (!racer.partition && decisive(outcome)) cancel.request_stop();
+        outcomes[i] = std::move(outcome);
+        if (--remaining == 0) done_cv.notify_all();
+      });
+    }
+    // Wait for every racer, forwarding the caller's cancellation. Racers
+    // watch the deadline themselves.
+    std::unique_lock lock(mutex);
+    while (remaining > 0) {
+      done_cv.wait_for(lock, std::chrono::milliseconds(10));
+      if (params.stop.stop_requested() && !cancel.stop_requested()) {
+        cancel.request_stop();
+      }
+    }
+  }  // joins the workers
+
+  // Combine. Exactness argument for the partitioned race: each partition
+  // proves "no solution in my residue class beats min(my best, the shared
+  // bound I pruned with)", and the shared bound only ever holds realized
+  // objectives — so once every partition completed, the best realized
+  // objective is the global optimum.
+  long total_nodes = 0;
+  int best = -1;
+  bool all_exact = true;   // every racer that had to finish did, exactly
+  bool any_truncated = false;
+  bool proven_infeasible = false;  // by a whole-problem (non-partition) racer
+  Status first_error = Status::Ok();
+  // Same objective from several racers: prefer the proven one, then the
+  // lowest racer index, so the reported result is deterministic.
+  const auto improves = [&](const SynthesisResult& a,
+                            const SynthesisResult& b) {
+    if (a.objective < b.objective - 1e-9) return true;
+    if (a.objective > b.objective + 1e-9) return false;
+    return a.stats.proven_optimal && !b.stats.proven_optimal;
+  };
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    if (outcome.ok()) {
+      total_nodes += outcome->stats.nodes;
+      if (!outcome->stats.proven_optimal) any_truncated = true;
+      if (best < 0 ||
+          improves(*outcome, *outcomes[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+      continue;
+    }
+    const StatusCode code = outcome.status().code();
+    if (code == StatusCode::kInfeasible) {
+      if (!racers[i].partition) proven_infeasible = true;
+    } else if (code == StatusCode::kTimeout) {
+      any_truncated = true;
+      if (racers[i].partition) all_exact = false;
+    } else {
+      // Size-guard rejections (iqp) and the like: not an answer, but only
+      // fatal when nobody else answers either.
+      if (first_error.ok()) first_error = outcome.status();
+      if (racers[i].partition) all_exact = false;
+    }
+  }
+
+  if (best >= 0) {
+    SynthesisResult out = *outcomes[static_cast<std::size_t>(best)];
+    const bool proven =
+        racers[static_cast<std::size_t>(best)].partition
+            ? all_exact && !any_truncated  // needs every partition finished
+            : out.stats.proven_optimal;
+    out.stats.engine = cat("portfolio(", out.stats.engine, "×",
+                           racers.size(), ")");
+    out.stats.proven_optimal = proven;
+    out.stats.nodes = total_nodes;
+    out.stats.runtime_s = timer.seconds();
+    return out;
+  }
+  if (proven_infeasible) {
+    return Status::Infeasible(
+        cat("no contamination-free solution for '", spec.name, "' with ",
+            to_string(spec.policy), " binding (proven by a portfolio racer)"));
+  }
+  if (any_truncated) {
+    return Status::Timeout(
+        cat("portfolio budget expired after ", total_nodes,
+            " nodes without finding a feasible solution"));
+  }
+  if (!first_error.ok()) return first_error;
+  return Status::Infeasible(
+      cat("no contamination-free solution for '", spec.name, "' with ",
+          to_string(spec.policy), " binding (all ", racers.size(),
+          " racers agree)"));
+}
+
+}  // namespace mlsi::synth

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file portfolio.hpp
+/// \brief Racing portfolio of the exact synthesis engines.
+///
+/// solve_portfolio() runs several exact solvers for the *same* problem
+/// concurrently on a support::ThreadPool and returns as soon as the outcome
+/// is decided:
+///
+///  * fixed / unfixed policies — the CP branch & bound races the IQP
+///    reconstruction; the first racer that proves optimality (or
+///    infeasibility) cancels the other through its StopToken.
+///  * clockwise policy — the outer enumeration of cyclic-order-preserving
+///    bindings is embarrassingly parallel, so it is partitioned across the
+///    workers by first-pin residue class (EngineParams::clockwise_stride /
+///    clockwise_offset). The partitions share one atomic incumbent
+///    objective, so a good solution found by any worker immediately
+///    tightens every other worker's pruning bound.
+///
+/// Every racer is exact, so the reported optimum is deterministic: whichever
+/// racer decides the race, the objective is the same (ties in the concrete
+/// routing may differ, as between any two exact engines). When the deadline
+/// expires first, the best incumbent across racers is returned with
+/// stats.proven_optimal = false, mirroring the serial engines.
+
+#include "synth/engine.hpp"
+
+namespace mlsi::synth {
+
+/// Races the exact engines on params.jobs workers (0 = hardware threads).
+/// Same contract as solve_cp/solve_iqp: kInfeasible when proven infeasible,
+/// kTimeout when the budget expired (or params.stop tripped) before any
+/// incumbent was found.
+Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
+                                        const arch::PathSet& paths,
+                                        const ProblemSpec& spec,
+                                        const EngineParams& params = {});
+
+}  // namespace mlsi::synth

@@ -1,14 +1,15 @@
 #include "synth/synthesizer.hpp"
 
+#include <algorithm>
+
+#include "support/executor.hpp"
 #include "support/timer.hpp"
-#include "synth/cp_engine.hpp"
-#include "synth/iqp_engine.hpp"
 #include "synth/valves.hpp"
 
 namespace mlsi::synth {
 
 Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
-    : spec_(std::move(spec)), options_(options) {
+    : spec_(std::move(spec)), options_(std::move(options)) {
   const int k = spec_.pins_per_side != 0
                     ? spec_.pins_per_side
                     : (spec_.num_modules() <= 8   ? 2
@@ -22,10 +23,10 @@ Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
 
 Result<SynthesisResult> Synthesizer::synthesize() const {
   Timer timer;
+  const auto engine = engine_from_string(options_.engine);
+  if (!engine.ok()) return engine.status();
   Result<SynthesisResult> routed =
-      options_.engine == EngineChoice::kCp
-          ? solve_cp(*topo_, *paths_, spec_, options_.engine_params)
-          : solve_iqp(*topo_, *paths_, spec_, options_.engine_params);
+      (*engine)(*topo_, *paths_, spec_, options_.engine_params);
   if (!routed.ok()) return routed;
   apply_post_processing(*routed);
   routed->stats.runtime_s = timer.seconds();
@@ -72,10 +73,16 @@ void Synthesizer::apply_post_processing(SynthesisResult& result) const {
     case PressureMode::kGreedy:
     case PressureMode::kIlp: {
       const auto compat = valve_compatibility(result.valve_states);
+      // The engine's deadline/stop cover the whole synthesis, pressure
+      // sharing included (the ILP falls back to greedy when cut short).
+      opt::MilpParams milp = options_.engine_params.milp;
+      milp.deadline = support::Deadline::sooner(
+          milp.deadline, options_.engine_params.deadline);
+      milp.stop = options_.engine_params.stop;
       const PressureGroups groups =
           options_.pressure == PressureMode::kGreedy
               ? pressure_groups_greedy(compat)
-              : pressure_groups_ilp(compat, options_.engine_params.milp);
+              : pressure_groups_ilp(compat, milp);
       result.pressure_group = groups.group;
       result.num_pressure_groups = groups.num_groups;
       break;
@@ -88,6 +95,32 @@ Result<SynthesisResult> synthesize(const ProblemSpec& spec,
   const Status valid = spec.validate();
   if (!valid.ok()) return valid;
   return Synthesizer(spec, options).synthesize();
+}
+
+std::vector<Result<SynthesisResult>> BatchSynthesizer::run_all(
+    const std::vector<ProblemSpec>& specs, int jobs,
+    double per_spec_budget_s) const {
+  std::vector<Result<SynthesisResult>> results(
+      specs.size(), Result<SynthesisResult>{Status::Internal("not run")});
+  support::ThreadPool pool(std::min<int>(
+      support::ThreadPool::resolve_jobs(jobs),
+      std::max<int>(1, static_cast<int>(specs.size()))));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Each worker writes only its own slot; the pool teardown joins before
+    // `results` is read.
+    pool.submit([&, i] {
+      SynthesisOptions options = options_;
+      if (per_spec_budget_s > 0.0) {
+        // The relative budget starts now, when the worker picks the spec up.
+        options.engine_params.deadline = support::Deadline::sooner(
+            options.engine_params.deadline,
+            support::Deadline::after(per_spec_budget_s));
+      }
+      results[i] = synthesize(specs[i], options);
+    });
+  }
+  pool.wait_idle();
+  return results;
 }
 
 }  // namespace mlsi::synth

@@ -12,8 +12,14 @@
 ///   auto result = syn.synthesize();
 ///   if (result.ok()) { ... result->flow_length_mm ... }
 /// \endcode
+///
+/// Engines are selected by name (SynthesisOptions::engine: "cp", "iqp",
+/// "portfolio", resolved through engine_from_string()); BatchSynthesizer
+/// fans a sweep of independent specs out over a thread pool.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "arch/crossbar.hpp"
 #include "arch/paths.hpp"
@@ -21,11 +27,6 @@
 #include "synth/pressure.hpp"
 
 namespace mlsi::synth {
-
-enum class EngineChoice {
-  kCp,   ///< dedicated branch & bound (default; fast on all policies)
-  kIqp,  ///< the paper's IQP on the in-repo MILP solver
-};
 
 enum class ValveReductionRule {
   kNone,   ///< keep a valve on every used segment
@@ -39,7 +40,11 @@ enum class PressureMode {
 };
 
 struct SynthesisOptions {
-  EngineChoice engine = EngineChoice::kCp;
+  /// Engine name as registered in engine_from_string(): "cp" (default,
+  /// fast on all policies), "iqp" (the paper's model) or "portfolio"
+  /// (parallel race; see portfolio.hpp). An unknown name surfaces as
+  /// kNotFound from synthesize().
+  std::string engine = "cp";
   EngineParams engine_params;
   ValveReductionRule reduction = ValveReductionRule::kPaper;
   PressureMode pressure = PressureMode::kIlp;
@@ -65,7 +70,8 @@ class Synthesizer {
   [[nodiscard]] Result<SynthesisResult> synthesize() const;
 
   /// Recomputes reduction, valve states and pressure groups on an existing
-  /// routing (used by ablations that re-route or re-reduce).
+  /// routing (used by ablations that re-route or re-reduce). Honours the
+  /// engine deadline/stop for the pressure ILP.
   void apply_post_processing(SynthesisResult& result) const;
 
  private:
@@ -78,5 +84,30 @@ class Synthesizer {
 /// Convenience free function for one-shot use.
 Result<SynthesisResult> synthesize(const ProblemSpec& spec,
                                    const SynthesisOptions& options = {});
+
+/// Synthesizes many independent specs concurrently — the sweep counterpart
+/// of the portfolio (which parallelizes a single solve). Each spec runs the
+/// full Synthesizer pipeline on a pool worker with identical options.
+class BatchSynthesizer {
+ public:
+  explicit BatchSynthesizer(SynthesisOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] const SynthesisOptions& options() const { return options_; }
+
+  /// Runs every spec on \p jobs workers (0 = hardware parallelism) and
+  /// returns the results in spec order. Deterministic per entry: each
+  /// result is exactly what a serial synthesize(spec, options) returns.
+  /// A positive \p per_spec_budget_s grants each spec its own relative wall
+  /// budget, starting when its worker picks it up (the shared options
+  /// deadline is absolute and would make all specs race one clock); the
+  /// sooner of the two limits applies.
+  [[nodiscard]] std::vector<Result<SynthesisResult>> run_all(
+      const std::vector<ProblemSpec>& specs, int jobs = 0,
+      double per_spec_budget_s = 0.0) const;
+
+ private:
+  SynthesisOptions options_;
+};
 
 }  // namespace mlsi::synth

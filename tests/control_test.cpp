@@ -24,7 +24,7 @@ synth::SynthesisResult synthesize_or_die(const synth::ProblemSpec& spec,
   static std::vector<std::unique_ptr<synth::Synthesizer>> keep_alive;
   synth::SynthesisOptions options;
   options.pressure = pressure;
-  options.engine_params.time_limit_s = 60.0;
+  options.engine_params.deadline = support::Deadline::after(60.0);
   keep_alive.push_back(std::make_unique<synth::Synthesizer>(spec, options));
   *out_syn = keep_alive.back().get();
   auto result = keep_alive.back()->synthesize();

@@ -1,0 +1,218 @@
+// Tests for the execution subsystem (support/executor.hpp, the Deadline
+// extensions in support/timer.hpp) and the ArgParser. The ThreadPool /
+// StopToken tests are the ones the ThreadSanitizer build (-DMLSI_SANITIZE=
+// thread) is aimed at.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/argparse.hpp"
+#include "support/executor.hpp"
+#include "support/timer.hpp"
+
+namespace mlsi::support {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  const Deadline d;
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.remaining_seconds() > 1e18);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetMeansUnlimited) {
+  EXPECT_FALSE(Deadline::after(0.0).limited());
+  EXPECT_FALSE(Deadline::after(-5.0).limited());
+  EXPECT_FALSE(Deadline::unlimited().limited());
+}
+
+TEST(DeadlineTest, TinyBudgetExpires) {
+  const Deadline d = Deadline::after(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.limited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlierExpiry) {
+  const Deadline early = Deadline::after(1e-9);
+  const Deadline late = Deadline::after(3600.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  EXPECT_TRUE(Deadline::sooner(early, late).expired());
+  EXPECT_TRUE(Deadline::sooner(late, early).expired());
+  // Unlimited never wins the min.
+  EXPECT_TRUE(Deadline::sooner(Deadline{}, early).expired());
+  EXPECT_FALSE(Deadline::sooner(Deadline{}, late).expired());
+  EXPECT_FALSE(Deadline::sooner(Deadline{}, Deadline{}).limited());
+}
+
+TEST(StopTokenTest, DefaultTokenNeverStops) {
+  const StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopTokenTest, SourceTripsItsTokens) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+  // Copies observe the same flag.
+  const StopToken copy = token;
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+TEST(StopTokenTest, TokenOutlivesSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }  // destructor must also join cleanly with an idle queue
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // no wait_idle: teardown itself must run everything
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountAndResolvesJobs) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3);
+  EXPECT_EQ(ThreadPool::resolve_jobs(0), ThreadPool::hardware_threads());
+  EXPECT_EQ(ThreadPool::resolve_jobs(-2), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPoolTest, StopTokenCancelsCooperativeWork) {
+  // The portfolio pattern: workers poll a token, the first finisher (or the
+  // coordinator) trips it, everyone unwinds promptly.
+  StopSource cancel;
+  std::atomic<int> unwound{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([token = cancel.token(), &unwound] {
+        while (!token.stop_requested()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        unwound.fetch_add(1);
+      });
+    }
+    cancel.request_stop();
+    pool.wait_idle();
+  }
+  EXPECT_EQ(unwound.load(), 4);
+}
+
+// --- ArgParser --------------------------------------------------------------
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(ArgParserTest, FlagsOptionsAndPositionals) {
+  const auto argv = argv_of({"tool", "case.json", "--quiet", "--svg",
+                             "out.svg", "--time-limit", "2.5"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(args.flag("--quiet"));
+  EXPECT_FALSE(args.flag("--verbose"));
+  EXPECT_EQ(args.option("--svg").value_or(""), "out.svg");
+  EXPECT_FALSE(args.option("--json").has_value());
+  EXPECT_DOUBLE_EQ(args.number("--time-limit", 120.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.number("--jobs", 4.0), 4.0);
+  ASSERT_TRUE(args.finish(1).ok());
+  EXPECT_EQ(args.positionals().front(), "case.json");
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  const auto argv = argv_of({"tool", "--engine", "cp", "--engine", "iqp"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.option("--engine").value_or(""), "iqp");
+  EXPECT_TRUE(args.finish(0).ok());
+}
+
+TEST(ArgParserTest, MissingValueIsAnError) {
+  const auto argv = argv_of({"tool", "--svg"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(args.option("--svg").has_value());
+  const Status s = args.finish(0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArgParserTest, UnknownOptionIsAnError) {
+  const auto argv = argv_of({"tool", "case.json", "--frobnicate"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  const Status s = args.finish(1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--frobnicate"), std::string::npos);
+}
+
+TEST(ArgParserTest, NonNumericNumberIsAnError) {
+  const auto argv = argv_of({"tool", "--jobs", "many"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  (void)args.number("--jobs", 1.0);
+  EXPECT_FALSE(args.finish(0).ok());
+}
+
+TEST(ArgParserTest, PositionalCountIsChecked) {
+  const auto argv = argv_of({"tool", "a.json", "b.json"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(args.finish(1).ok());
+}
+
+TEST(ArgParserTest, NegativeNumbersAreNotOptions) {
+  const auto argv = argv_of({"tool", "--time-limit", "-1", "case.json"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(args.number("--time-limit", 0.0), -1.0);
+  EXPECT_TRUE(args.finish(1).ok());
+}
+
+}  // namespace
+}  // namespace mlsi::support

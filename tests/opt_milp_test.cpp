@@ -97,7 +97,7 @@ TEST(MilpTest, TimeLimitReturnsGracefully) {
   m.add_constraint(sum, Sense::kLe, 17.3);
   m.set_objective(sum, /*minimize=*/false);
   MilpParams params;
-  params.time_limit_s = 1e-6;
+  params.deadline = support::Deadline::after(1e-6);
   const Solution s = solve_milp(m, params);
   EXPECT_TRUE(s.status == MilpStatus::kFeasible ||
               s.status == MilpStatus::kUnknown);

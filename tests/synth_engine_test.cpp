@@ -179,7 +179,7 @@ TEST(CpEngineTest, UnfixedNeverWorseThanOtherPolicies) {
     const auto fixed = synthesize(make(BindingPolicy::kFixed));
     const auto clockwise = synthesize(make(BindingPolicy::kClockwise));
     SynthesisOptions options;
-    options.engine_params.time_limit_s = 60.0;
+    options.engine_params.deadline = support::Deadline::after(60.0);
     const auto unfixed = synthesize(make(BindingPolicy::kUnfixed), options);
     ASSERT_TRUE(fixed.ok() && clockwise.ok() && unfixed.ok());
     ASSERT_TRUE(clockwise->stats.proven_optimal);
@@ -198,7 +198,7 @@ TEST(CpEngineTest, UnfixedNeverWorseThanOtherPolicies) {
 TEST(CpEngineTest, TimeLimitReturnsGracefully) {
   ProblemSpec spec = cases::mrna_isolation(BindingPolicy::kUnfixed);
   SynthesisOptions options;
-  options.engine_params.time_limit_s = 1e-4;
+  options.engine_params.deadline = support::Deadline::after(1e-4);
   const auto result = synthesize(spec, options);
   // Either a quick incumbent (not proven) or a timeout status.
   if (result.ok()) {
@@ -290,7 +290,7 @@ TEST_P(EngineParityTest, SameOptimumOnRandomFixedCases) {
 
   Synthesizer syn(spec);
   EngineParams ep;
-  ep.time_limit_s = 90.0;
+  ep.deadline = support::Deadline::after(90.0);
   const auto cp = solve_cp(syn.topology(), syn.paths(), spec, ep);
   const auto iqp = solve_iqp(syn.topology(), syn.paths(), spec, ep);
   ASSERT_EQ(cp.ok(), iqp.ok())
@@ -316,7 +316,7 @@ TEST(EngineParityTest, NucleicAcidFixedInfeasibleInBothEngines) {
   const ProblemSpec spec = cases::nucleic_acid(BindingPolicy::kFixed);
   Synthesizer syn(spec);
   EngineParams ep;
-  ep.time_limit_s = 120.0;
+  ep.deadline = support::Deadline::after(120.0);
   EXPECT_EQ(solve_cp(syn.topology(), syn.paths(), spec, ep).status().code(),
             StatusCode::kInfeasible);
   EXPECT_EQ(solve_iqp(syn.topology(), syn.paths(), spec, ep).status().code(),

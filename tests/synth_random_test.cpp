@@ -29,7 +29,7 @@ TEST_P(RandomPipelineTest, SynthesisValidatesOrProvesInfeasible) {
   const ProblemSpec spec = cases::make_artificial(params);
 
   SynthesisOptions options;
-  options.engine_params.time_limit_s = 30.0;
+  options.engine_params.deadline = support::Deadline::after(30.0);
   // Alternate pressure modes and reduction rules across the sweep.
   options.pressure = v % 2 == 0 ? PressureMode::kIlp : PressureMode::kGreedy;
   options.reduction = v % 5 == 0 ? ValveReductionRule::kNone
@@ -78,7 +78,7 @@ TEST(GruSynthesisTest, EngineWorksOnGruTopology) {
   spec.conflicts = {{0, 1}, {0, 2}, {1, 2}};
   spec.policy = BindingPolicy::kUnfixed;
   EngineParams params;
-  params.time_limit_s = 60.0;
+  params.deadline = support::Deadline::after(60.0);
   const auto result = solve_cp(gru, paths, spec, params);
   if (!result.ok()) {
     EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);

@@ -5,13 +5,17 @@
 //
 // Options:
 //   --policy fixed|clockwise|unfixed   override the case's binding policy
-//   --engine cp|iqp                    synthesis engine (default cp)
+//   --engine cp|iqp|portfolio          synthesis engine (default cp)
+//   --jobs N                           worker threads for --engine portfolio
+//                                      (default 0 = all hardware threads)
 //   --time-limit <seconds>             wall budget (default 120)
 //   --pressure off|greedy|ilp          pressure sharing (default ilp)
 //   --no-reduction                     keep a valve on every used segment
 //   --svg <path>                       write the synthesized switch drawing
 //   --control <path>                   route the control layer, write overlay
 //   --json <path>                      write the machine-readable result
+//                                      (schema documented in README.md;
+//                                      carries a "version" field)
 //   --export-lp <path>                 write the paper's IQP model in CPLEX
 //                                      LP format (for Gurobi/SCIP/HiGHS)
 //   --quiet                            suppress the human-readable report
@@ -20,17 +24,17 @@
 // 1 any other error.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "control/router.hpp"
 #include "io/case_io.hpp"
-#include "opt/lp_format.hpp"
-#include "synth/iqp_engine.hpp"
 #include "io/report.hpp"
 #include "io/svg.hpp"
+#include "opt/lp_format.hpp"
 #include "sim/simulator.hpp"
+#include "support/argparse.hpp"
 #include "support/strings.hpp"
+#include "synth/iqp_engine.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace {
@@ -38,98 +42,87 @@ namespace {
 using namespace mlsi;
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <case.json> [--policy P] [--engine cp|iqp] "
-               "[--time-limit S] [--pressure off|greedy|ilp] "
-               "[--no-reduction] [--svg F] [--control F] [--json F] "
-               "[--quiet]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <case.json> [--policy fixed|clockwise|unfixed]\n"
+      "       [--engine cp|iqp|portfolio] [--jobs N] [--time-limit S]\n"
+      "       [--pressure off|greedy|ilp] [--no-reduction] [--svg F]\n"
+      "       [--control F] [--json F] [--export-lp F] [--quiet]\n",
+      argv0);
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  const std::string case_path = argv[1];
-
+/// Everything the tool does besides synthesis proper.
+struct ToolOptions {
+  std::string case_path;
   std::string policy_override;
   std::string svg_path;
   std::string control_path;
   std::string json_path;
   std::string lp_path;
   bool quiet = false;
-  synth::SynthesisOptions options;
-  options.engine_params.time_limit_s = 120.0;
+};
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--policy") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      policy_override = v;
-    } else if (arg == "--engine") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      if (std::strcmp(v, "cp") == 0) {
-        options.engine = synth::EngineChoice::kCp;
-      } else if (std::strcmp(v, "iqp") == 0) {
-        options.engine = synth::EngineChoice::kIqp;
-      } else {
-        return usage(argv[0]);
-      }
-    } else if (arg == "--time-limit") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      options.engine_params.time_limit_s = std::atof(v);
-    } else if (arg == "--pressure") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      if (std::strcmp(v, "off") == 0) {
-        options.pressure = synth::PressureMode::kOff;
-      } else if (std::strcmp(v, "greedy") == 0) {
-        options.pressure = synth::PressureMode::kGreedy;
-      } else if (std::strcmp(v, "ilp") == 0) {
-        options.pressure = synth::PressureMode::kIlp;
-      } else {
-        return usage(argv[0]);
-      }
-    } else if (arg == "--no-reduction") {
-      options.reduction = synth::ValveReductionRule::kNone;
-    } else if (arg == "--svg") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      svg_path = v;
-    } else if (arg == "--control") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      control_path = v;
-    } else if (arg == "--json") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      json_path = v;
-    } else if (arg == "--export-lp") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      lp_path = v;
-    } else if (arg == "--quiet") {
-      quiet = true;
+/// Fills synthesis + tool options from argv in one place. The time limit
+/// becomes an absolute Deadline here — the budget covers engine and
+/// post-processing, starting now.
+Status parse_options(support::ArgParser& args, synth::SynthesisOptions& synth,
+                     ToolOptions& tool) {
+  if (const auto v = args.option("--engine")) {
+    const auto engine = synth::engine_from_string(*v);
+    if (!engine.ok()) return engine.status();
+    synth.engine = *v;
+  }
+  synth.engine_params.jobs =
+      static_cast<int>(args.number("--jobs", 0));
+  synth.engine_params.deadline =
+      support::Deadline::after(args.number("--time-limit", 120.0));
+  if (const auto v = args.option("--pressure")) {
+    if (*v == "off") {
+      synth.pressure = synth::PressureMode::kOff;
+    } else if (*v == "greedy") {
+      synth.pressure = synth::PressureMode::kGreedy;
+    } else if (*v == "ilp") {
+      synth.pressure = synth::PressureMode::kIlp;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return usage(argv[0]);
+      return Status::InvalidArgument(cat("unknown pressure mode '", *v, "'"));
     }
   }
+  if (args.flag("--no-reduction")) {
+    synth.reduction = synth::ValveReductionRule::kNone;
+  }
+  tool.policy_override = args.option("--policy").value_or("");
+  tool.svg_path = args.option("--svg").value_or("");
+  tool.control_path = args.option("--control").value_or("");
+  tool.json_path = args.option("--json").value_or("");
+  tool.lp_path = args.option("--export-lp").value_or("");
+  tool.quiet = args.flag("--quiet");
+  const Status parsed = args.finish(1);
+  if (!parsed.ok()) return parsed;
+  tool.case_path = args.positionals().front();
+  return Status::Ok();
+}
 
-  auto spec = io::load_spec(case_path);
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(argc, argv);
+  synth::SynthesisOptions options;
+  ToolOptions tool;
+  const Status parsed = parse_options(args, options, tool);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.to_string().c_str());
+    return usage(argv[0]);
+  }
+
+  auto spec = io::load_spec(tool.case_path);
   if (!spec.ok()) {
     std::fprintf(stderr, "error: %s\n", spec.status().to_string().c_str());
     return 1;
   }
-  if (!policy_override.empty()) {
-    const auto policy = synth::binding_policy_from_string(policy_override);
+  if (!tool.policy_override.empty()) {
+    const auto policy =
+        synth::binding_policy_from_string(tool.policy_override);
     if (!policy.ok()) {
       std::fprintf(stderr, "error: %s\n", policy.status().to_string().c_str());
       return 1;
@@ -139,26 +132,27 @@ int main(int argc, char** argv) {
     if (!revalidated.ok()) {
       std::fprintf(stderr,
                    "error: case is not usable under --policy %s: %s\n",
-                   policy_override.c_str(), revalidated.to_string().c_str());
+                   tool.policy_override.c_str(),
+                   revalidated.to_string().c_str());
       return 1;
     }
   }
 
   synth::Synthesizer synthesizer(*spec, options);
-  if (!lp_path.empty()) {
+  if (!tool.lp_path.empty()) {
     const auto model = synth::build_iqp_model(synthesizer.topology(),
                                               synthesizer.paths(), *spec);
     if (!model.ok()) {
       std::fprintf(stderr, "export-lp: %s\n",
                    model.status().to_string().c_str());
     } else {
-      const Status s = opt::save_lp_format(lp_path, *model);
+      const Status s = opt::save_lp_format(tool.lp_path, *model);
       if (!s.ok()) {
         std::fprintf(stderr, "export-lp: %s\n", s.to_string().c_str());
-      } else if (!quiet) {
+      } else if (!tool.quiet) {
         std::printf("wrote IQP model (%d vars, %d constraints) to %s\n",
                     model->num_vars(), model->num_constraints(),
-                    lp_path.c_str());
+                    tool.lp_path.c_str());
       }
     }
   }
@@ -173,7 +167,7 @@ int main(int argc, char** argv) {
   }
   const auto outcome = sim::harden(synthesizer.topology(), *spec, *result);
 
-  if (!quiet) {
+  if (!tool.quiet) {
     io::TextTable table({"feature", "value"});
     table.add_row({"case", spec->name});
     table.add_row({"switch", synthesizer.topology().name()});
@@ -193,33 +187,37 @@ int main(int argc, char** argv) {
     std::printf("%s", table.to_string().c_str());
   }
 
-  if (!svg_path.empty()) {
+  if (!tool.svg_path.empty()) {
     const Status s = io::write_svg(
-        svg_path, io::render_result(synthesizer.topology(), *spec, *result));
+        tool.svg_path,
+        io::render_result(synthesizer.topology(), *spec, *result));
     if (!s.ok()) std::fprintf(stderr, "svg: %s\n", s.to_string().c_str());
   }
-  if (!json_path.empty()) {
+  if (!tool.json_path.empty()) {
     const Status s = json::write_file(
-        json_path,
+        tool.json_path,
         io::result_to_json(synthesizer.topology(), *spec, *result));
     if (!s.ok()) std::fprintf(stderr, "json: %s\n", s.to_string().c_str());
   }
-  if (!control_path.empty()) {
+  if (!tool.control_path.empty()) {
     const auto plan = control::route_control(synthesizer.topology(), *result);
     if (!plan.ok()) {
       std::fprintf(stderr, "control routing: %s\n",
                    plan.status().to_string().c_str());
     } else {
-      if (!quiet) {
+      if (!tool.quiet) {
         std::printf("control layer: %zu nets, %.1f mm channel, %d flow "
                     "crossings\n",
                     plan->nets.size(), plan->total_length_mm,
                     plan->total_crossings);
       }
       const Status s = io::write_svg(
-          control_path,
-          control::render_control_svg(synthesizer.topology(), *result, *plan));
-      if (!s.ok()) std::fprintf(stderr, "control svg: %s\n", s.to_string().c_str());
+          tool.control_path,
+          control::render_control_svg(synthesizer.topology(), *result,
+                                      *plan));
+      if (!s.ok()) {
+        std::fprintf(stderr, "control svg: %s\n", s.to_string().c_str());
+      }
     }
   }
   return outcome.report.ok() ? 0 : 1;
