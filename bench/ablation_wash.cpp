@@ -16,6 +16,7 @@
 #include "sim/wash.hpp"
 
 int main() {
+  mlsi::bench::init("ablation_wash");
   using namespace mlsi;
   using synth::BindingPolicy;
 

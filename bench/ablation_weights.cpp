@@ -12,6 +12,7 @@
 #include "cases/cases.hpp"
 
 int main() {
+  mlsi::bench::init("ablation_weights");
   using namespace mlsi;
 
   std::printf("Ablation — objective weights on the Table 4.2 example\n\n");

@@ -31,6 +31,41 @@ inline std::string out_dir() {
   return dir;
 }
 
+/// Machine-readable run telemetry for one bench binary. init() names the
+/// bench; every run_case() then appends one record and rewrites
+/// bench_out/BENCH_<name>.json in place, so partial data survives an
+/// aborted sweep. scripts/bench.sh collects these files; EXPERIMENTS.md
+/// before/after tables are built from them.
+class Telemetry {
+ public:
+  static Telemetry& instance() {
+    static Telemetry t;
+    return t;
+  }
+
+  void init(std::string name) { name_ = std::move(name); }
+
+  void record(json::Object rec) {
+    if (name_.empty()) return;  // bench did not opt in
+    records_.push_back(json::Value{std::move(rec)});
+    json::Object doc;
+    doc["bench"] = json::Value{name_};
+    doc["schema"] = json::Value{1};
+    doc["records"] = json::Value{records_};
+    (void)json::write_file(out_dir() + "/BENCH_" + name_ + ".json",
+                           json::Value{std::move(doc)});
+  }
+
+ private:
+  std::string name_;
+  json::Array records_;
+};
+
+/// Names this binary's telemetry stream (call once at the top of main).
+inline void init(const std::string& bench_name) {
+  Telemetry::instance().init(bench_name);
+}
+
 /// One synthesized-and-validated case.
 struct RunOutcome {
   synth::ProblemSpec spec;
@@ -63,6 +98,34 @@ inline RunOutcome run_case(const synth::ProblemSpec& spec,
                                                 *out.result));
     }
   }
+
+  // Telemetry record (no-op unless bench::init was called).
+  json::Object rec;
+  rec["case"] = json::Value{spec.name};
+  rec["policy"] = json::Value{std::string{to_string(spec.policy)}};
+  rec["switch"] = json::Value{out.switch_name};
+  rec["ok"] = json::Value{out.result.ok()};
+  if (out.result.ok()) {
+    const synth::SynthesisResult& r = *out.result;
+    rec["wall_ms"] = json::Value{r.stats.runtime_s * 1000.0};
+    rec["objective"] = json::Value{r.objective};
+    rec["num_sets"] = json::Value{r.num_sets};
+    rec["engine"] = json::Value{r.stats.engine};
+    rec["proven_optimal"] = json::Value{r.stats.proven_optimal};
+    rec["nodes"] = json::Value{static_cast<double>(r.stats.nodes)};
+    rec["lp_iterations"] =
+        json::Value{static_cast<double>(r.stats.lp_iterations)};
+    rec["lp_factorizations"] =
+        json::Value{static_cast<double>(r.stats.lp_factorizations)};
+    rec["lp_warm_starts"] =
+        json::Value{static_cast<double>(r.stats.warm_starts)};
+    rec["lp_cold_starts"] =
+        json::Value{static_cast<double>(r.stats.cold_starts)};
+    rec["contamination_free"] = json::Value{out.hardening.report.ok()};
+  } else {
+    rec["error"] = json::Value{out.result.status().to_string()};
+  }
+  Telemetry::instance().record(std::move(rec));
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "sim/spine_baseline.hpp"
 
 int main() {
+  mlsi::bench::init("fig_4_1");
   using namespace mlsi;
   using synth::BindingPolicy;
 

@@ -55,6 +55,7 @@ void run_panel(const synth::ProblemSpec& spec, const std::string& tag,
 }  // namespace
 
 int main() {
+  mlsi::bench::init("fig_4_2");
   std::printf("Figure 4.2 — nucleic acid processor and mRNA isolation, "
               "this work vs spine baselines\n\n");
   io::TextTable table({"design", "L(mm)", "#s", "undelivered", "collisions",

@@ -9,6 +9,7 @@
 #include "cases/cases.hpp"
 
 int main() {
+  mlsi::bench::init("fig_4_4");
   using namespace mlsi;
 
   std::printf("Figure 4.4 — structure and flow paths of the Table 4.2 "

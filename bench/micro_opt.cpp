@@ -11,6 +11,7 @@
 #include "opt/milp.hpp"
 #include "opt/simplex.hpp"
 #include "support/rng.hpp"
+#include "synth/pressure.hpp"
 #include "synth/synthesizer.hpp"
 
 namespace {
@@ -52,6 +53,20 @@ void BM_SimplexRandomLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexRandomLp)->Arg(20)->Arg(60)->Arg(150)->Arg(400);
 
+// The retired dense tableau (LpParams::use_dense), kept as the differential
+// oracle — benchmarked here so the revised-simplex gain stays measurable.
+void BM_SimplexRandomLpDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lp = random_lp(n, n / 2, 42);
+  opt::LpParams params;
+  params.use_dense = true;
+  for (auto _ : state) {
+    const auto res = opt::solve_lp(lp, params);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_SimplexRandomLpDense)->Arg(20)->Arg(60)->Arg(150)->Arg(400);
+
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(7);
@@ -71,6 +86,61 @@ void BM_MilpKnapsack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(20)->Arg(28);
+
+// Same search with the dense tableau behind branch & bound — the pre-warm-
+// start baseline for the EXPERIMENTS.md before/after table.
+void BM_MilpKnapsackDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  opt::Model model;
+  opt::LinExpr weight;
+  opt::LinExpr value;
+  for (int i = 0; i < n; ++i) {
+    const opt::Var x = model.add_binary("x");
+    weight.add(x, 1.0 + rng.next_double() * 9);
+    value.add(x, 1.0 + rng.next_double() * 9);
+  }
+  model.add_constraint(weight, opt::Sense::kLe, 2.5 * n);
+  model.set_objective(value, /*minimize=*/false);
+  opt::MilpParams params;
+  params.lp.use_dense = true;
+  for (auto _ : state) {
+    const auto sol = opt::solve_milp(model, params);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsackDense)->Arg(12)->Arg(20)->Arg(28);
+
+// The production MILP path: clique-cover pressure sharing (constraints
+// 3.14–3.17) on a synthetic valve compatibility matrix. Its LP relaxations
+// carry hundreds of rows, which is where the sparse revised simplex and the
+// dual warm starts earn their keep.
+std::vector<std::vector<bool>> random_compat(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<bool>> compat(n, std::vector<bool>(n, true));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool ok = rng.next_bool(0.7);
+      compat[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = ok;
+      compat[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = ok;
+    }
+  }
+  return compat;
+}
+
+void BM_PressureIlp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto compat = random_compat(n, 11);
+  opt::MilpParams params;
+  params.lp.use_dense = state.range(1) != 0;
+  for (auto _ : state) {
+    const auto groups = synth::pressure_groups_ilp(compat, params);
+    benchmark::DoNotOptimize(groups.num_groups);
+  }
+}
+BENCHMARK(BM_PressureIlp)
+    ->ArgsProduct({{8, 10, 12}, {0, 1}})
+    ->ArgNames({"valves", "dense"});
 
 void BM_EnumeratePaths(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));

@@ -13,6 +13,7 @@
 #include "cases/cases.hpp"
 
 int main() {
+  mlsi::bench::init("stress_16pin");
   using namespace mlsi;
   using synth::BindingPolicy;
 

@@ -11,14 +11,57 @@
 // simulation. Absolute values differ (reconstructed inputs, different
 // solver/host); see EXPERIMENTS.md.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "cases/cases.hpp"
 
-int main() {
+namespace {
+
+// --smoke: one fast case with a known proven optimum; nonzero exit on any
+// regression. check.sh runs this after every build.
+int run_smoke() {
+  using namespace mlsi;
+  constexpr double kExpectedObjective = 1012.0;
+  const synth::ProblemSpec spec =
+      cases::chip_sw1(synth::BindingPolicy::kClockwise);
+  const auto outcome = bench::run_case(spec, 60.0);
+  if (!outcome.result.ok()) {
+    std::printf("SMOKE FAIL: %s\n",
+                outcome.result.status().to_string().c_str());
+    return 1;
+  }
+  const synth::SynthesisResult& r = *outcome.result;
+  std::printf("smoke: chip_sw1/clockwise objective=%.1f proven=%d sim=%s\n",
+              r.objective, r.stats.proven_optimal ? 1 : 0,
+              outcome.hardening.report.ok() ? "contamination-free"
+                                            : "VIOLATION");
+  if (std::fabs(r.objective - kExpectedObjective) > 1e-6) {
+    std::printf("SMOKE FAIL: objective %.6f != expected %.1f\n", r.objective,
+                kExpectedObjective);
+    return 1;
+  }
+  if (!r.stats.proven_optimal) {
+    std::printf("SMOKE FAIL: optimum no longer proven within budget\n");
+    return 1;
+  }
+  if (!outcome.hardening.report.ok()) {
+    std::printf("SMOKE FAIL: design is not contamination-free\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace mlsi;
   using synth::BindingPolicy;
+
+  bench::init("table_4_1");
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
 
   std::printf("Table 4.1 — contamination avoidance "
               "(paper: Shen, Sec. 4.1)\n\n");

@@ -11,6 +11,7 @@
 #include "cases/cases.hpp"
 
 int main() {
+  mlsi::bench::init("table_4_2");
   using namespace mlsi;
 
   std::printf("Table 4.2 — flow-scheduling example (paper: Shen, Sec. 4.2)\n\n");

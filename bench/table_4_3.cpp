@@ -13,6 +13,7 @@
 #include "cases/cases.hpp"
 
 int main() {
+  mlsi::bench::init("table_4_3");
   using namespace mlsi;
   using synth::BindingPolicy;
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs the Table 4.1 suite and collects the machine-readable telemetry the
+# bench binaries drop into bench_out/BENCH_<name>.json (one record per
+# synthesized case: wall ms, objective, B&B nodes, simplex iterations,
+# LU factorizations, warm/cold start counts).
+#
+#   scripts/bench.sh            # from the repo root
+#   scripts/bench.sh table_4_1 micro_opt   # run a subset by binary name
+#
+# Results land in bench_out/; a short summary of every BENCH_*.json found
+# is printed at the end. EXPERIMENTS.md before/after tables come from
+# these files.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+
+if [ "$#" -gt 0 ]; then
+    BENCHES="$*"
+else
+    BENCHES="table_4_1"
+fi
+
+for name in $BENCHES; do
+    cmake --build build -j "$(nproc)" --target "$name" >/dev/null
+    echo "== ${name} =="
+    "build/bench/${name}"
+done
+
+echo
+echo "== telemetry =="
+for f in bench_out/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    count=$(grep -c '"case"' "$f" || true)
+    echo "${f}: ${count} records"
+done

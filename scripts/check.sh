@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 verification: full build + test suite, then the concurrency tests
-# (thread pool, stop tokens, portfolio races) again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, a bench smoke run against a
+# known optimum, the LP/MILP tests again under AddressSanitizer (the sparse
+# LU and eta-file code is pointer-heavy), and the concurrency tests (thread
+# pool, stop tokens, portfolio races) again under ThreadSanitizer.
 #
 #   scripts/check.sh            # from the repo root
 #
@@ -13,6 +15,16 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# Bench smoke: chip_sw1/clockwise must still hit its proven optimum (1012.0)
+# and pass the contamination-free flow simulation.
+build/bench/table_4_1 --smoke
+
+cmake -B build-asan -S . -DMLSI_SANITIZE=address
+cmake --build build-asan -j "$(nproc)" \
+    --target opt_simplex_test opt_milp_test
+build-asan/tests/opt_simplex_test
+build-asan/tests/opt_milp_test
+
 cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
     --target exec_test synth_portfolio_test mlsi_synth_cli
@@ -21,4 +33,4 @@ build-tsan/tests/synth_portfolio_test
 build-tsan/tools/mlsi_synth tests/data/demo_clockwise.json \
     --engine portfolio --jobs 4 --quiet
 
-echo "check.sh: all green (tier-1 + ThreadSanitizer)"
+echo "check.sh: all green (tier-1 + bench smoke + ASan + TSan)"

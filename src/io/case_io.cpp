@@ -163,6 +163,13 @@ Value result_to_json(const arch::SwitchTopology& topo,
   obj["engine"] = Value{result.stats.engine};
   obj["runtime_s"] = Value{result.stats.runtime_s};
   obj["proven_optimal"] = Value{result.stats.proven_optimal};
+  obj["nodes"] = Value{static_cast<double>(result.stats.nodes)};
+  obj["lp_iterations"] =
+      Value{static_cast<double>(result.stats.lp_iterations)};
+  obj["lp_factorizations"] =
+      Value{static_cast<double>(result.stats.lp_factorizations)};
+  obj["lp_warm_starts"] = Value{static_cast<double>(result.stats.warm_starts)};
+  obj["lp_cold_starts"] = Value{static_cast<double>(result.stats.cold_starts)};
 
   Object binding;
   for (int m = 0; m < spec.num_modules(); ++m) {

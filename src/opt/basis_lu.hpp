@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file basis_lu.hpp
+/// \brief Sparse basis factorization for the revised simplex.
+///
+/// The basis matrix B (the basic columns of M = [A | -I]) is factorized
+/// into a product of sparse elementary ("eta") matrices by a
+/// Markowitz-ordered elimination: columns are processed in ascending
+/// fill order (triangular columns — slacks and near-slacks, the vast
+/// majority in routing/scheduling bases — pivot with zero fill), and the
+/// pivot row of each column is chosen among numerically acceptable
+/// candidates (within a threshold of the largest magnitude) as the one
+/// with the fewest remaining nonzeros, the classic Markowitz criterion.
+///
+/// FTRAN (x := B^{-1} x) applies the eta file forward, skipping every eta
+/// whose pivot entry of x is zero — on the sparse right-hand sides the
+/// simplex produces, most are. BTRAN (x := B^{-T} x) applies it backward.
+///
+/// Pivot updates append one eta per basis change (product-form update);
+/// the file is rebuilt from scratch when it grows past a fill budget or a
+/// pivot is too small to update stably — the eta-file + periodic-refactor
+/// scheme referenced in DESIGN.md.
+
+#include <vector>
+
+#include "opt/sparse.hpp"
+
+namespace mlsi::opt {
+
+class BasisLu {
+ public:
+  /// \p matrix must outlive this object.
+  explicit BasisLu(const CscMatrix* matrix) : mat_(matrix) {}
+
+  /// Factorizes the basis \p basis (one column id per row). On success the
+  /// entries of \p basis are permuted so that basis[r] is the column whose
+  /// unit vector lands on row r — callers index basic values by row.
+  ///
+  /// Singular bases are repaired in place: each dependent column is
+  /// dropped and replaced by a column restoring full rank (the slack of an
+  /// uncovered row when it is not already basic, otherwise the best-
+  /// conditioned nonbasic column). \p in_basis must flag every currently
+  /// basic column id; it is consulted so repair never duplicates a column.
+  /// Returns the number of repaired positions (0 = clean factorization).
+  int factorize(std::vector<int>& basis, const std::vector<char>& in_basis);
+
+  /// x := B^{-1} x.
+  void ftran(std::vector<double>& x) const;
+  /// x := B^{-T} x.
+  void btran(std::vector<double>& x) const;
+
+  /// Product-form update: basis position \p r is replaced by the entering
+  /// column whose FTRAN'd form is \p w (= B^{-1} a_entering). Returns false
+  /// when |w[r]| is too small to pivot stably — refactorize instead.
+  [[nodiscard]] bool update(int r, const std::vector<double>& w);
+
+  /// True once the eta file has grown enough that refactorizing is cheaper
+  /// than dragging the accumulated updates through every solve.
+  [[nodiscard]] bool should_refactorize() const;
+
+  [[nodiscard]] long factorizations() const { return factorizations_; }
+
+ private:
+  struct Eta {
+    int pivot_row = -1;
+    double pivot = 0.0;
+    int begin = 0;  ///< off-pivot entries in off_row_/off_val_
+    int end = 0;
+  };
+
+  /// Appends the eta for pivoting \p w at row \p r.
+  void push_eta(int r, const std::vector<double>& w);
+
+  const CscMatrix* mat_;
+  std::vector<Eta> etas_;
+  std::vector<int> off_row_;
+  std::vector<double> off_val_;
+  int updates_ = 0;              ///< etas appended since the last factorize
+  std::size_t factor_nnz_ = 0;   ///< eta-file fill right after factorize
+  long factorizations_ = 0;
+};
+
+}  // namespace mlsi::opt

@@ -50,13 +50,16 @@ class BranchAndBound {
 
  private:
   void build_lp();
-  LpResult solve_relaxation(const std::vector<int>* warm_basis);
-  /// Most fractional integral variable; -1 when the LP point is integral.
+  LpResult solve_relaxation(const LpBasis* warm_basis);
+  /// Branching variable; -1 when the LP point is integral. Tie-break order
+  /// (deterministic): highest branch_priority class first, then the most
+  /// fractional value (beyond kBranchTieTol), then the lowest variable
+  /// index (implicit in the ascending scan keeping the first best).
   int pick_branch_var(const std::vector<double>& x) const;
   void accept_incumbent(const std::vector<double>& x, double objective);
   /// Recursive DFS; returns false when a global limit tripped. Children
   /// warm-start their LPs from \p parent_basis.
-  bool explore(const std::vector<int>* parent_basis);
+  bool explore(const LpBasis* parent_basis);
 
   Model model_;
   const MilpParams& params_;
@@ -113,18 +116,28 @@ void BranchAndBound::build_lp() {
   }
 }
 
-LpResult BranchAndBound::solve_relaxation(
-    const std::vector<int>* warm_basis) {
+LpResult BranchAndBound::solve_relaxation(const LpBasis* warm_basis) {
   LpParams lp_params = params_.lp;
   lp_params.deadline = params_.deadline;
   lp_params.stop = params_.stop;
   lp_params.warm_basis = warm_basis;
   LpResult res = solve_lp(lp_, lp_params);
   stats_.lp_iterations += res.iterations;
+  stats_.lp_dual_iterations += res.dual_iterations;
+  stats_.lp_factorizations += res.factorizations;
+  if (res.used_warm_start) {
+    ++stats_.warm_starts;
+  } else {
+    ++stats_.cold_starts;
+  }
   return res;
 }
 
 int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+  // Fractionality differences below this are ties: two candidates this
+  // close are equally attractive, and the lower index must win so the
+  // search tree does not depend on floating-point noise in the relaxation.
+  constexpr double kBranchTieTol = 1e-9;
   int best = -1;
   int best_priority = std::numeric_limits<int>::min();
   double best_frac_dist = params_.int_tol;
@@ -135,10 +148,12 @@ int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
     const double frac = v - std::floor(v);
     const double dist = std::min(frac, 1.0 - frac);  // distance to integer
     if (dist <= params_.int_tol) continue;
-    // Highest priority class first; most-fractional within the class.
+    // 1. highest branch_priority class; 2. most fractional (strictly, by
+    // more than kBranchTieTol); 3. lowest index — the ascending scan keeps
+    // the incumbent candidate on ties.
     if (best < 0 || info.branch_priority > best_priority ||
         (info.branch_priority == best_priority &&
-         dist > best_frac_dist + 1e-12)) {
+         dist > best_frac_dist + kBranchTieTol)) {
       best_priority = info.branch_priority;
       best_frac_dist = dist;
       best = j;
@@ -173,7 +188,7 @@ void BranchAndBound::accept_incumbent(const std::vector<double>& x,
   }
 }
 
-bool BranchAndBound::explore(const std::vector<int>* parent_basis) {
+bool BranchAndBound::explore(const LpBasis* parent_basis) {
   if (params_.deadline.expired() || params_.stop.stop_requested() ||
       stats_.nodes >= params_.max_nodes) {
     truncated_ = true;
@@ -221,11 +236,11 @@ bool BranchAndBound::explore(const std::vector<int>* parent_basis) {
       lp_.lb[idx] = fl + 1.0;
       lp_.ub[idx] = saved_ub;
     }
-    // Children solve from the slack basis: adopting the parent basis needs a
-    // full O(m^2 N) refactorization in the tableau method, which measures
-    // slower than cold phase 1 on these models.
+    // Each child differs from this node by one bound, so the parent's
+    // optimal basis is dual feasible for it: the revised simplex re-enters
+    // through the dual method and typically needs only a few pivots.
     const bool child_feasible_bounds = lp_.lb[idx] <= lp_.ub[idx];
-    if (child_feasible_bounds && !explore(nullptr)) {
+    if (child_feasible_bounds && !explore(&lp.basis)) {
       lp_.lb[idx] = saved_lb;
       lp_.ub[idx] = saved_ub;
       return false;

@@ -31,7 +31,11 @@ enum class MilpStatus {
 
 struct SolveStats {
   long nodes = 0;
-  long lp_iterations = 0;
+  long lp_iterations = 0;       ///< total simplex pivots across all nodes
+  long lp_dual_iterations = 0;  ///< dual-simplex share of lp_iterations
+  long lp_factorizations = 0;   ///< basis (re)factorizations across all nodes
+  long warm_starts = 0;  ///< child LPs re-entered from the parent's basis
+  long cold_starts = 0;  ///< LPs solved from the slack basis (root included)
   double runtime_s = 0.0;
   double root_bound = 0.0;  ///< objective bound from the root relaxation
 };

@@ -4,77 +4,109 @@
 #include <cmath>
 #include <limits>
 
+#include "opt/basis_lu.hpp"
+#include "opt/simplex_dense.hpp"
+#include "opt/sparse.hpp"
 #include "support/log.hpp"
 #include "support/status.hpp"
 
 namespace mlsi::opt {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Rates smaller than this cannot block a move: over any step bounded by the
 /// variable spans they change a basic value by less than the feasibility
 /// tolerance.
 constexpr double kRateTol = 1e-9;
-/// Pivots are refactorized away after this many eliminations.
-constexpr int kRefactorInterval = 384;
+/// Dual pivot entries below this are treated as zero (ineligible).
+constexpr double kAlphaTol = 1e-9;
+/// Pivots between full recomputations of the basic values (drift cap).
+constexpr int kValueRefreshInterval = 64;
 
-/// Dense bounded-variable tableau simplex. One instance per solve.
-class Simplex {
+/// Sparse revised bounded-variable simplex (see simplex.hpp for the method
+/// overview). One instance per solve.
+class RevisedSimplex {
  public:
-  Simplex(const LpProblem& lp, const LpParams& params)
+  RevisedSimplex(const LpProblem& lp, const LpParams& params)
       : lp_(lp), params_(params) {}
 
   LpResult run();
 
  private:
-  // --- setup -------------------------------------------------------------
-  void build();
-
-  // --- shared pivoting machinery ------------------------------------------
-  /// Recomputes every basic value from the nonbasic assignment.
-  void refresh_basic_values();
-  /// Rebuilds the tableau T = B^{-1}[A|-I] from scratch by Gauss-Jordan on
-  /// the recorded basis — the tableau method's substitute for an LU
-  /// refactorization. Resets accumulated floating-point drift. When drifted
-  /// pivoting has left the recorded basis (near-)singular, dependent
-  /// columns are swapped out for slacks (basis repair) and
-  /// basis_repaired_ is set: primal feasibility may be lost, so phase 2
-  /// must hand control back to phase 1.
-  void rebuild_tableau();
-  /// Eliminates column `j` using row `r` and updates the reduced-cost row.
-  void pivot(int r, int j);
-
-  /// Result of the ratio test for moving column j in direction dir.
-  struct Block {
-    int leave_row = -1;   ///< -1: bound flip
-    double t = 0.0;       ///< step length
-    double leave_to = 0.0;
+  enum class DualOutcome {
+    kFeasible,    ///< primal feasibility reached; finish with primal phase 2
+    kFallback,    ///< numerics/cap: keep the basis, rerun primal phase 1
+    kInfeasible,  ///< dual unbounded: the LP is primal infeasible
+    kLimit,       ///< deadline / stop / max_iters
   };
-  /// Two-pass (Harris-style) ratio test: finds the minimum blocking ratio,
-  /// then among near-minimal rows picks the largest |pivot| (numerical
-  /// stability) or, in Bland mode, the smallest basic index (anti-cycling).
-  /// phase1 enables the extended bounds of currently infeasible basics.
-  [[nodiscard]] Block ratio_test(int j, double dir, bool phase1,
-                                 bool bland) const;
-  /// Applies a ratio-test outcome: moves values, then pivots or flips.
-  void apply_step(int j, double dir, const Block& block);
+
+  // --- setup ---------------------------------------------------------------
+  void build();
+  void cold_start();
+  /// Adopts params_.warm_basis when well-formed and factorizable without
+  /// repair. Falls back to cold_start() and returns false otherwise.
+  bool adopt_warm_basis();
+
+  // --- shared machinery ----------------------------------------------------
+  /// (Re)factorizes basis_, repairing singularity (sets basis_repaired_ and
+  /// kicks dropped columns to their nearer bound), then rebuilds the row
+  /// maps and the basic values.
+  void factorize_basis();
+  /// Recomputes every basic value from the nonbasic assignment via FTRAN.
+  void compute_basic_values();
+  /// w := B^{-1} a_j (dense scratch, sparse apply).
+  void ftran_column(int j, std::vector<double>& w);
 
   [[nodiscard]] double col_span(int j) const { return up_[j] - lo_[j]; }
   [[nodiscard]] bool is_basic(int j) const { return basic_row_[j] >= 0; }
-
-  // --- phase 1 -------------------------------------------------------------
   [[nodiscard]] double infeasibility() const;
-  bool phase1_step(bool bland);
-  bool run_phase1();
+  [[nodiscard]] double objective_value() const;
+  /// Counts one iteration against max_iters / deadline / stop.
+  [[nodiscard]] bool budget_exhausted();
 
-  // --- phase 2 -------------------------------------------------------------
-  void init_reduced_costs();
-  bool phase2_step(bool bland);
+  // --- pricing -------------------------------------------------------------
+  struct Candidate {
+    int j = -1;
+    double dir = 0.0;
+  };
+  /// Picks an entering column. Phase 1 prices the infeasibility gradient
+  /// g_j = a_j·B^{-T}s (s = ±1 per violated basic row); phase 2 prices the
+  /// reduced costs d_j = c_j - a_j·B^{-T}c_B. Sectioned partial pricing
+  /// with a rotating cursor; Bland mode scans everything and returns the
+  /// smallest attractive index (anti-cycling). j = -1 when none qualifies.
+  Candidate price(bool phase1, bool bland);
+
+  // --- ratio test ----------------------------------------------------------
+  struct Block {
+    int leave_row = -1;  ///< -1: bound flip
+    double t = 0.0;      ///< step length
+    double leave_to = 0.0;
+  };
+  /// Two-pass (Harris-style) ratio test over the FTRAN'd entering column
+  /// \p w: minimum blocking ratio first, then the largest |pivot| among
+  /// near-minimal rows (Bland mode: smallest basic index). phase1 enables
+  /// the extended bounds of currently infeasible basics.
+  [[nodiscard]] Block ratio_test(const std::vector<double>& w, int j,
+                                 double dir, bool phase1, bool bland) const;
+  /// Applies a ratio-test outcome: moves values, then flips or pivots
+  /// (LU product-form update, refactorizing when the update is rejected or
+  /// the eta file outgrows its budget).
+  void apply_step(int j, double dir, const std::vector<double>& w,
+                  const Block& block);
+
+  // --- primal phases -------------------------------------------------------
+  bool run_phase1();
   /// Returns true when the basis had to be repaired mid-phase and phase 1
   /// must re-establish feasibility; status_ is set otherwise.
   bool run_phase2();
 
-  [[nodiscard]] double objective_value() const;
+  // --- dual simplex (warm-start entry) -------------------------------------
+  /// d[j] := c_j - a_j·B^{-T}c_B for nonbasic j, 0 for basic.
+  void compute_reduced_costs(std::vector<double>& d);
+  /// Flips boxed nonbasics whose reduced cost has the wrong sign for their
+  /// bound — after this the basis is dual feasible (every column is boxed,
+  /// so a flip always exists). Recomputes basic values when anything moved.
+  void restore_dual_feasibility(std::vector<double>& d);
+  DualOutcome run_dual();
 
   const LpProblem& lp_;
   const LpParams& params_;
@@ -83,240 +115,269 @@ class Simplex {
   int n_ = 0;     ///< structural columns
   int cols_ = 0;  ///< n_ + m_
 
-  // Tableau T = B^{-1} [A | -I], row-major m_ x cols_.
-  std::vector<double> tab_;
-  double* row(int r) { return tab_.data() + static_cast<std::size_t>(r) * cols_; }
-  [[nodiscard]] const double* row(int r) const {
-    return tab_.data() + static_cast<std::size_t>(r) * cols_;
-  }
+  CscMatrix mat_;      ///< M = [A | -I]
+  BasisLu lu_{&mat_};  ///< basis factorization over mat_
 
   std::vector<double> lo_, up_;  ///< bounds for all cols (slacks clipped)
   std::vector<double> cost_;     ///< phase-2 costs (slack = 0)
   std::vector<double> val_;      ///< current value of every column
   std::vector<int> basis_;       ///< basis_[r] = column basic in row r
   std::vector<int> basic_row_;   ///< col -> row, or -1 when nonbasic
-  std::vector<double> dcost_;    ///< pivoted reduced-cost row (phase 2)
+  std::vector<char> in_basis_;   ///< col -> 0/1 (BasisLu repair input)
 
+  std::vector<double> y_work_;    ///< BTRAN scratch (pricing)
+  std::vector<double> rhs_work_;  ///< FTRAN scratch (basic values)
+  std::vector<double> w_;         ///< FTRAN'd entering column
+  std::vector<double> rho_;       ///< dual: B^{-T} e_r
+  std::vector<double> alpha_;     ///< dual: pivot row alpha_j = a_j·rho
+
+  int cursor_ = 0;  ///< partial-pricing rotation state
   long iters_ = 0;
-  int pivots_since_refactor_ = 0;
+  long phase1_iters_ = 0;
+  long dual_iters_ = 0;
+  int pivots_since_refresh_ = 0;
   bool basis_repaired_ = false;
+  bool used_warm_start_ = false;
   LpStatus status_ = LpStatus::kIterLimit;
 };
 
-void Simplex::build() {
+void RevisedSimplex::build() {
   m_ = static_cast<int>(lp_.rows.size());
   n_ = lp_.num_vars;
   cols_ = n_ + m_;
-  tab_.assign(static_cast<std::size_t>(m_) * cols_, 0.0);
-  lo_.resize(static_cast<std::size_t>(cols_));
-  up_.resize(static_cast<std::size_t>(cols_));
-  cost_.assign(static_cast<std::size_t>(cols_), 0.0);
+  mat_ = build_working_matrix(lp_);
+  WorkingColumns wc = build_working_columns(lp_);
+  lo_ = std::move(wc.lo);
+  up_ = std::move(wc.up);
+  cost_ = std::move(wc.cost);
   val_.assign(static_cast<std::size_t>(cols_), 0.0);
   basis_.resize(static_cast<std::size_t>(m_));
   basic_row_.assign(static_cast<std::size_t>(cols_), -1);
+  in_basis_.assign(static_cast<std::size_t>(cols_), 0);
+}
 
-  for (int j = 0; j < n_; ++j) {
-    lo_[j] = lp_.lb[static_cast<std::size_t>(j)];
-    up_[j] = lp_.ub[static_cast<std::size_t>(j)];
-    cost_[j] = lp_.cost[static_cast<std::size_t>(j)];
-    MLSI_ASSERT(std::isfinite(lo_[j]) && std::isfinite(up_[j]),
-                "simplex requires finite structural bounds");
+void RevisedSimplex::cold_start() {
+  for (int j = 0; j < cols_; ++j) {
     // Nonbasic start: the bound with smaller magnitude (keeps values small).
     val_[j] = std::fabs(lo_[j]) <= std::fabs(up_[j]) ? lo_[j] : up_[j];
   }
-
-  // Initial basis: slacks. With B = -I the tableau is [-A | I].
+  std::fill(basic_row_.begin(), basic_row_.end(), -1);
+  std::fill(in_basis_.begin(), in_basis_.end(), 0);
   for (int r = 0; r < m_; ++r) {
-    double* tr = row(r);
-    double act_lo = 0.0;
-    double act_hi = 0.0;
-    for (const auto& [c, a] : lp_.rows[static_cast<std::size_t>(r)].terms) {
-      MLSI_ASSERT(c >= 0 && c < n_, "LP row references unknown column");
-      tr[c] -= a;  // -A
-      if (a >= 0) {
-        act_lo += a * lo_[c];
-        act_hi += a * up_[c];
-      } else {
-        act_lo += a * up_[c];
-        act_hi += a * lo_[c];
-      }
-    }
-    const int sj = n_ + r;
-    tr[sj] = 1.0;
-    // Slack bounds = row bounds clipped to the activity range, so every
-    // column has finite bounds. Clipping cannot cut off feasible points.
-    const LpRow& lrow = lp_.rows[static_cast<std::size_t>(r)];
-    lo_[sj] = std::max(lrow.lo, act_lo);
-    up_[sj] = std::min(lrow.hi, act_hi);
-    if (lo_[sj] > up_[sj]) {
-      // The row bounds lie outside the achievable activity range: the LP is
-      // infeasible. Pin the slack to the nearer row bound; phase 1 then
-      // proves infeasibility because no pivot can reach it.
-      const double pin = lrow.hi < act_lo ? lrow.hi : lrow.lo;
-      lo_[sj] = up_[sj] = pin;
-    }
-    basis_[static_cast<std::size_t>(r)] = sj;
-    basic_row_[sj] = r;
+    basis_[static_cast<std::size_t>(r)] = n_ + r;
+    basic_row_[n_ + r] = r;
+    in_basis_[static_cast<std::size_t>(n_ + r)] = 1;
   }
-
-  // Optional warm start: adopt the caller's basis when it is well-formed.
-  if (params_.warm_basis != nullptr &&
-      static_cast<int>(params_.warm_basis->size()) == m_) {
-    std::vector<int> candidate = *params_.warm_basis;
-    std::vector<char> seen(static_cast<std::size_t>(cols_), 0);
-    bool valid = true;
-    for (const int c : candidate) {
-      if (c < 0 || c >= cols_ || seen[static_cast<std::size_t>(c)] != 0) {
-        valid = false;
-        break;
-      }
-      seen[static_cast<std::size_t>(c)] = 1;
-    }
-    if (valid) {
-      std::fill(basic_row_.begin(), basic_row_.end(), -1);
-      basis_ = std::move(candidate);
-      for (int r = 0; r < m_; ++r) basic_row_[basis_[static_cast<std::size_t>(r)]] = r;
-      // Nonbasic columns sit at their nearer bound.
-      for (int j = 0; j < cols_; ++j) {
-        if (basic_row_[j] >= 0) continue;
-        val_[j] = std::fabs(val_[j] - lo_[j]) <= std::fabs(val_[j] - up_[j])
-                      ? lo_[j]
-                      : up_[j];
-      }
-      rebuild_tableau();
-      return;
-    }
-  }
-  refresh_basic_values();
+  factorize_basis();  // trivial triangular factor; fills basic values
+  basis_repaired_ = false;
 }
 
-void Simplex::refresh_basic_values() {
-  // M x = 0 with M = [A | -I]; T = B^{-1} M, so x_B = -sum_nonbasic T_j x_j.
-  for (int r = 0; r < m_; ++r) {
-    const double* tr = row(r);
-    double acc = 0.0;
-    for (int j = 0; j < cols_; ++j) {
-      if (basic_row_[j] >= 0) continue;
-      acc += tr[j] * val_[j];
-    }
-    val_[basis_[static_cast<std::size_t>(r)]] = -acc;
+bool RevisedSimplex::adopt_warm_basis() {
+  const LpBasis* wb = params_.warm_basis;
+  if (wb == nullptr || static_cast<int>(wb->basic.size()) != m_ ||
+      static_cast<int>(wb->status.size()) != cols_) {
+    return false;
   }
+  std::vector<char> seen(static_cast<std::size_t>(cols_), 0);
+  for (const int c : wb->basic) {
+    if (c < 0 || c >= cols_ || seen[static_cast<std::size_t>(c)] != 0) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(c)] = 1;
+  }
+  basis_ = wb->basic;
+  in_basis_ = std::move(seen);
+  std::fill(basic_row_.begin(), basic_row_.end(), -1);
+  for (int r = 0; r < m_; ++r) {
+    basic_row_[basis_[static_cast<std::size_t>(r)]] = r;
+  }
+  // Nonbasic columns sit at the snapshot's bound — re-evaluated against the
+  // *current* (possibly tightened) box, which is exactly what makes the
+  // parent basis dual feasible for the child.
+  for (int j = 0; j < cols_; ++j) {
+    if (is_basic(j)) continue;
+    val_[j] = wb->status[static_cast<std::size_t>(j)] == ColStatus::kAtUpper
+                  ? up_[j]
+                  : lo_[j];
+  }
+  factorize_basis();
+  if (basis_repaired_) {
+    // The snapshot is singular for this problem; a repaired basis has no
+    // dual-feasibility guarantee, so cold-start instead.
+    cold_start();
+    return false;
+  }
+  return true;
 }
 
-void Simplex::rebuild_tableau() {
-  pivots_since_refactor_ = 0;
-  // Raw M = [A | -I].
-  std::fill(tab_.begin(), tab_.end(), 0.0);
-  for (int r = 0; r < m_; ++r) {
-    double* tr = row(r);
-    for (const auto& [c, a] : lp_.rows[static_cast<std::size_t>(r)].terms) {
-      tr[c] += a;
+void RevisedSimplex::factorize_basis() {
+  std::vector<int> old = basis_;
+  const int repaired = lu_.factorize(basis_, in_basis_);
+  if (repaired > 0) {
+    std::vector<char> now(static_cast<std::size_t>(cols_), 0);
+    for (int r = 0; r < m_; ++r) {
+      now[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 1;
     }
-    tr[n_ + r] = -1.0;
-  }
-  // Gauss-Jordan with partial pivoting, arranging column basis_[k]'s unit
-  // entry into row k (rows of T correspond to basis positions).
-  for (int k = 0; k < m_; ++k) {
-    int c = basis_[static_cast<std::size_t>(k)];
-    int best = -1;
-    double best_abs = 0.0;
-    for (int r = k; r < m_; ++r) {
-      const double v = std::fabs(row(r)[c]);
-      if (v > best_abs) {
-        best_abs = v;
-        best = r;
-      }
-    }
-    if (best < 0 || best_abs <= 1e-9) {
-      // Basis repair: the recorded column is dependent on the previous
-      // pivot columns (drifted pivoting let a numerically-zero element
-      // enter the basis). Swap in the best-conditioned nonbasic slack.
-      int repl = -1;
-      int repl_row = -1;
-      double repl_abs = 1e-9;
-      for (int cand = n_; cand < cols_; ++cand) {
-        if (basic_row_[cand] >= 0) continue;
-        for (int r = k; r < m_; ++r) {
-          const double v = std::fabs(row(r)[cand]);
-          if (v > repl_abs) {
-            repl_abs = v;
-            repl = cand;
-            repl_row = r;
-          }
-        }
-      }
-      MLSI_ASSERT(repl >= 0, "basis repair found no replacement column");
-      basic_row_[c] = -1;
+    for (const int c : old) {
+      if (now[static_cast<std::size_t>(c)] != 0) continue;
+      // Dropped as dependent: park on the nearer bound.
       val_[c] = std::fabs(val_[c] - lo_[c]) <= std::fabs(val_[c] - up_[c])
                     ? lo_[c]
                     : up_[c];
-      basis_[static_cast<std::size_t>(k)] = repl;
-      basic_row_[repl] = k;
-      c = repl;
-      best = repl_row;
-      basis_repaired_ = true;
-      log_debug("simplex: repaired singular basis at position ", k);
     }
-    if (best != k) {
-      double* a = row(k);
-      double* b = row(best);
-      std::swap_ranges(a, a + cols_, b);
+    basis_repaired_ = true;
+    log_debug("simplex: refactorization repaired ", repaired, " positions");
+  }
+  // factorize() permutes basis_, so the maps need rebuilding either way.
+  std::fill(basic_row_.begin(), basic_row_.end(), -1);
+  std::fill(in_basis_.begin(), in_basis_.end(), 0);
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    basic_row_[b] = r;
+    in_basis_[static_cast<std::size_t>(b)] = 1;
+  }
+  compute_basic_values();
+}
+
+void RevisedSimplex::compute_basic_values() {
+  // M x = 0  =>  x_B = B^{-1} (-N x_N).
+  rhs_work_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    if (is_basic(j)) continue;
+    const double v = val_[j];
+    if (v != 0.0) mat_.add_column(j, -v, rhs_work_);
+  }
+  lu_.ftran(rhs_work_);
+  for (int r = 0; r < m_; ++r) {
+    val_[basis_[static_cast<std::size_t>(r)]] =
+        rhs_work_[static_cast<std::size_t>(r)];
+  }
+  pivots_since_refresh_ = 0;
+}
+
+void RevisedSimplex::ftran_column(int j, std::vector<double>& w) {
+  w.assign(static_cast<std::size_t>(m_), 0.0);
+  mat_.add_column(j, 1.0, w);
+  lu_.ftran(w);
+}
+
+double RevisedSimplex::infeasibility() const {
+  double sum = 0.0;
+  for (int r = 0; r < m_; ++r) {
+    const int b = basis_[static_cast<std::size_t>(r)];
+    if (val_[b] < lo_[b]) {
+      sum += lo_[b] - val_[b];
+    } else if (val_[b] > up_[b]) {
+      sum += val_[b] - up_[b];
     }
-    double* pk = row(k);
-    const double inv = 1.0 / pk[c];
-    for (int cc = 0; cc < cols_; ++cc) pk[cc] *= inv;
-    pk[c] = 1.0;
+  }
+  return sum;
+}
+
+double RevisedSimplex::objective_value() const {
+  double acc = lp_.cost_constant;
+  for (int j = 0; j < n_; ++j) acc += cost_[j] * val_[j];
+  return acc;
+}
+
+bool RevisedSimplex::budget_exhausted() {
+  return ++iters_ > params_.max_iters || params_.deadline.expired() ||
+         params_.stop.stop_requested();
+}
+
+RevisedSimplex::Candidate RevisedSimplex::price(bool phase1, bool bland) {
+  const double ftol = params_.feas_tol;
+  y_work_.assign(static_cast<std::size_t>(m_), 0.0);
+  if (phase1) {
+    // s_r = +1 where the basic value sits below its lower bound, -1 above
+    // the upper; the infeasibility gradient along nonbasic j is then
+    // g_j = a_j · B^{-T} s (the revised form of the dense row sums).
+    bool any = false;
     for (int r = 0; r < m_; ++r) {
-      if (r == k) continue;
-      double* tr = row(r);
-      const double f = tr[c];
-      if (f == 0.0) continue;
-      for (int cc = 0; cc < cols_; ++cc) tr[cc] -= f * pk[cc];
-      tr[c] = 0.0;
-    }
-  }
-  refresh_basic_values();
-  if (!dcost_.empty()) init_reduced_costs();
-}
-
-void Simplex::pivot(int r, int j) {
-  double* pr = row(r);
-  const double piv = pr[j];
-  MLSI_ASSERT(std::fabs(piv) > 1e-12, "pivot element too small");
-  const double inv = 1.0 / piv;
-  for (int c = 0; c < cols_; ++c) pr[c] *= inv;
-  pr[j] = 1.0;  // exact
-  for (int i = 0; i < m_; ++i) {
-    if (i == r) continue;
-    double* ti = row(i);
-    const double f = ti[j];
-    if (f == 0.0) continue;
-    for (int c = 0; c < cols_; ++c) ti[c] -= f * pr[c];
-    ti[j] = 0.0;  // exact
-  }
-  if (!dcost_.empty()) {
-    const double f = dcost_[static_cast<std::size_t>(j)];
-    if (f != 0.0) {
-      for (int c = 0; c < cols_; ++c) {
-        dcost_[static_cast<std::size_t>(c)] -= f * pr[c];
+      const int b = basis_[static_cast<std::size_t>(r)];
+      if (val_[b] < lo_[b] - ftol) {
+        y_work_[static_cast<std::size_t>(r)] = 1.0;
+        any = true;
+      } else if (val_[b] > up_[b] + ftol) {
+        y_work_[static_cast<std::size_t>(r)] = -1.0;
+        any = true;
       }
-      dcost_[static_cast<std::size_t>(j)] = 0.0;
+    }
+    if (!any) return {};  // primal feasible
+  } else {
+    for (int r = 0; r < m_; ++r) {
+      y_work_[static_cast<std::size_t>(r)] =
+          cost_[basis_[static_cast<std::size_t>(r)]];
     }
   }
-  const int leaving = basis_[static_cast<std::size_t>(r)];
-  basic_row_[leaving] = -1;
-  basis_[static_cast<std::size_t>(r)] = j;
-  basic_row_[j] = r;
+  lu_.btran(y_work_);
+
+  const double threshold = -(phase1 ? ftol : params_.opt_tol);
+  const auto score_of = [&](int j, double* dir_out) {
+    const double v = phase1 ? mat_.dot_column(j, y_work_)
+                            : cost_[j] - mat_.dot_column(j, y_work_);
+    const bool at_lo = val_[j] <= lo_[j] + ftol;
+    const bool at_up = val_[j] >= up_[j] - ftol;
+    double dir;
+    if (at_lo && !at_up) {
+      dir = 1.0;
+    } else if (at_up && !at_lo) {
+      dir = -1.0;
+    } else {
+      dir = v < 0 ? 1.0 : -1.0;
+    }
+    *dir_out = dir;
+    return dir * v;  // rate of change along the move; want < 0
+  };
+
+  Candidate best;
+  if (bland) {
+    // Exact anti-cycling scan: the smallest attractive index wins.
+    for (int j = 0; j < cols_; ++j) {
+      if (is_basic(j) || col_span(j) < ftol) continue;
+      double dir;
+      if (score_of(j, &dir) < threshold) return {j, dir};
+    }
+    return best;
+  }
+  // Sectioned partial pricing: scan fixed-size windows from a rotating
+  // cursor and take the best candidate of the first window holding one.
+  // Spreads pricing work across the column range without giving up the
+  // steepest-in-window choice; a full fruitless rotation proves there is
+  // no attractive column at all.
+  const int section = std::max(32, cols_ / 8);
+  double best_score = threshold;
+  int pos = cursor_;
+  int scanned = 0;
+  while (scanned < cols_) {
+    const int stop = std::min(scanned + section, cols_);
+    for (; scanned < stop; ++scanned) {
+      const int j = pos;
+      pos = pos + 1 == cols_ ? 0 : pos + 1;
+      if (is_basic(j) || col_span(j) < ftol) continue;
+      double dir;
+      const double s = score_of(j, &dir);
+      if (s < best_score) {
+        best_score = s;
+        best = {j, dir};
+      }
+    }
+    if (best.j >= 0) break;
+  }
+  cursor_ = pos;
+  return best;
 }
 
-Simplex::Block Simplex::ratio_test(int j, double dir, bool phase1,
-                                   bool bland) const {
+RevisedSimplex::Block RevisedSimplex::ratio_test(const std::vector<double>& w,
+                                                 int j, double dir, bool phase1,
+                                                 bool bland) const {
   const double ftol = params_.feas_tol;
   const double t_bound = dir > 0 ? up_[j] - val_[j] : val_[j] - lo_[j];
 
   // Per-row blocking limit under the move; kInf when the row cannot block.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   const auto row_limit = [&](int r, double* to_out, double* rate_out) {
-    const double rate = -dir * row(r)[j];
+    const double rate = -dir * w[static_cast<std::size_t>(r)];
     *rate_out = rate;
     if (std::fabs(rate) <= kRateTol) return kInf;
     const int b = basis_[static_cast<std::size_t>(r)];
@@ -350,8 +411,7 @@ Simplex::Block Simplex::ratio_test(int j, double dir, bool phase1,
   for (int r = 0; r < m_; ++r) {
     double to;
     double rate;
-    const double limit = row_limit(r, &to, &rate);
-    t_rows = std::min(t_rows, limit);
+    t_rows = std::min(t_rows, row_limit(r, &to, &rate));
   }
 
   Block block;
@@ -370,8 +430,7 @@ Simplex::Block Simplex::ratio_test(int j, double dir, bool phase1,
   for (int r = 0; r < m_; ++r) {
     double to;
     double rate;
-    const double limit = row_limit(r, &to, &rate);
-    if (limit > t_rows + 1e-9) continue;
+    if (row_limit(r, &to, &rate) > t_rows + 1e-9) continue;
     const int b = basis_[static_cast<std::size_t>(r)];
     const bool better = bland ? b < best_basic : std::fabs(rate) > best_metric;
     if (better) {
@@ -385,12 +444,17 @@ Simplex::Block Simplex::ratio_test(int j, double dir, bool phase1,
   return block;
 }
 
-void Simplex::apply_step(int j, double dir, const Block& block) {
+void RevisedSimplex::apply_step(int j, double dir,
+                                const std::vector<double>& w,
+                                const Block& block) {
   const double t = block.t;
   if (t != 0.0) {
     for (int r = 0; r < m_; ++r) {
-      const double rate = -dir * row(r)[j];
-      if (rate != 0.0) val_[basis_[static_cast<std::size_t>(r)]] += rate * t;
+      const double wr = w[static_cast<std::size_t>(r)];
+      if (wr != 0.0) {
+        // Basic value rate along the move is -dir * w_r.
+        val_[basis_[static_cast<std::size_t>(r)]] -= dir * wr * t;
+      }
     }
     val_[j] += dir * t;
   }
@@ -399,93 +463,38 @@ void Simplex::apply_step(int j, double dir, const Block& block) {
     val_[j] = dir > 0 ? up_[j] : lo_[j];
     return;
   }
-  // Snap the leaving variable exactly onto its blocking bound, then pivot.
-  val_[basis_[static_cast<std::size_t>(block.leave_row)]] = block.leave_to;
-  pivot(block.leave_row, j);
-  if (++pivots_since_refactor_ >= kRefactorInterval) {
-    rebuild_tableau();
-  } else if (pivots_since_refactor_ % 64 == 0) {
-    refresh_basic_values();
+  // Snap the leaving variable exactly onto its blocking bound, then swap it
+  // for the entering column and append the product-form update.
+  const int r = block.leave_row;
+  const int leaving = basis_[static_cast<std::size_t>(r)];
+  val_[leaving] = block.leave_to;
+  basic_row_[leaving] = -1;
+  in_basis_[static_cast<std::size_t>(leaving)] = 0;
+  basis_[static_cast<std::size_t>(r)] = j;
+  basic_row_[j] = r;
+  in_basis_[static_cast<std::size_t>(j)] = 1;
+  if (!lu_.update(r, w) || lu_.should_refactorize()) {
+    factorize_basis();
+  } else if (++pivots_since_refresh_ >= kValueRefreshInterval) {
+    compute_basic_values();
   }
 }
 
-double Simplex::infeasibility() const {
-  double sum = 0.0;
-  for (int r = 0; r < m_; ++r) {
-    const int b = basis_[static_cast<std::size_t>(r)];
-    if (val_[b] < lo_[b]) {
-      sum += lo_[b] - val_[b];
-    } else if (val_[b] > up_[b]) {
-      sum += val_[b] - up_[b];
-    }
-  }
-  return sum;
-}
-
-bool Simplex::phase1_step(bool bland) {
-  const double ftol = params_.feas_tol;
-  // Gradient of the total infeasibility along each nonbasic direction:
-  // g_j = sum_{basic below lo} T[i][j] - sum_{basic above up} T[i][j];
-  // moving j by dir changes the infeasibility at rate dir * g_j.
-  std::vector<int> below;
-  std::vector<int> above;
-  for (int r = 0; r < m_; ++r) {
-    const int b = basis_[static_cast<std::size_t>(r)];
-    if (val_[b] < lo_[b] - ftol) {
-      below.push_back(r);
-    } else if (val_[b] > up_[b] + ftol) {
-      above.push_back(r);
-    }
-  }
-  if (below.empty() && above.empty()) return false;  // feasible
-
-  int best_j = -1;
-  double best_dir = 0.0;
-  double best_score = -ftol;
-  for (int j = 0; j < cols_; ++j) {
-    if (is_basic(j) || col_span(j) < ftol) continue;
-    double g = 0.0;
-    for (const int r : below) g += row(r)[j];
-    for (const int r : above) g -= row(r)[j];
-    const bool at_lo = val_[j] <= lo_[j] + ftol;
-    const bool at_up = val_[j] >= up_[j] - ftol;
-    double dir;
-    if (at_lo && !at_up) {
-      dir = 1.0;
-    } else if (at_up && !at_lo) {
-      dir = -1.0;
-    } else {
-      dir = g < 0 ? 1.0 : -1.0;
-    }
-    const double score = dir * g;  // d(infeasibility)/dt, want < 0
-    if (score < best_score) {
-      best_score = score;
-      best_j = j;
-      best_dir = dir;
-      if (bland) break;  // smallest attractive index
-    }
-  }
-  if (best_j < 0) return false;  // stuck: no attractive column
-
-  apply_step(best_j, best_dir,
-             ratio_test(best_j, best_dir, /*phase1=*/true, bland));
-  return true;
-}
-
-bool Simplex::run_phase1() {
+bool RevisedSimplex::run_phase1() {
   const double inf_tol = params_.feas_tol * static_cast<double>(m_ + 1);
   double last_inf = infeasibility();
   if (last_inf <= inf_tol) return true;
   int stall = 0;
   bool bland = false;
   while (true) {
-    if (++iters_ > params_.max_iters || params_.deadline.expired() ||
-        params_.stop.stop_requested()) {
+    if (budget_exhausted()) {
       status_ = LpStatus::kIterLimit;
       return false;
     }
-    if (!phase1_step(bland)) {
-      rebuild_tableau();
+    const Candidate c = price(/*phase1=*/true, bland);
+    if (c.j < 0) {
+      // Feasible or stuck: decide against a freshly refactorized basis.
+      factorize_basis();
       if (infeasibility() <= inf_tol) return true;
       if (!bland) {
         bland = true;  // one exact retry before declaring infeasible
@@ -494,9 +503,13 @@ bool Simplex::run_phase1() {
       status_ = LpStatus::kInfeasible;
       return false;
     }
+    ++phase1_iters_;
+    ftran_column(c.j, w_);
+    apply_step(c.j, c.dir, w_,
+               ratio_test(w_, c.j, c.dir, /*phase1=*/true, bland));
     const double inf = infeasibility();
     if (inf <= inf_tol) {
-      rebuild_tableau();
+      factorize_basis();
       if (infeasibility() <= inf_tol) return true;
       last_inf = infeasibility();
       continue;
@@ -508,69 +521,12 @@ bool Simplex::run_phase1() {
     } else if (++stall >= params_.stall_limit) {
       bland = true;  // anti-cycling
       stall = 0;
-      rebuild_tableau();
+      factorize_basis();
     }
   }
 }
 
-void Simplex::init_reduced_costs() {
-  dcost_.assign(static_cast<std::size_t>(cols_), 0.0);
-  for (int j = 0; j < cols_; ++j) dcost_[static_cast<std::size_t>(j)] = cost_[j];
-  for (int r = 0; r < m_; ++r) {
-    const double cb = cost_[basis_[static_cast<std::size_t>(r)]];
-    if (cb == 0.0) continue;
-    const double* tr = row(r);
-    for (int c = 0; c < cols_; ++c) {
-      dcost_[static_cast<std::size_t>(c)] -= cb * tr[c];
-    }
-  }
-  for (int r = 0; r < m_; ++r) {
-    dcost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 0.0;
-  }
-}
-
-bool Simplex::phase2_step(bool bland) {
-  const double otol = params_.opt_tol;
-  const double ftol = params_.feas_tol;
-  int best_j = -1;
-  double best_dir = 0.0;
-  double best_score = -otol;
-  for (int j = 0; j < cols_; ++j) {
-    if (is_basic(j) || col_span(j) < ftol) continue;
-    const double d = dcost_[static_cast<std::size_t>(j)];
-    const bool at_lo = val_[j] <= lo_[j] + ftol;
-    const bool at_up = val_[j] >= up_[j] - ftol;
-    double dir;
-    if (at_lo && !at_up) {
-      dir = 1.0;
-    } else if (at_up && !at_lo) {
-      dir = -1.0;
-    } else {
-      dir = d < 0 ? 1.0 : -1.0;
-    }
-    const double score = dir * d;  // d(objective)/dt
-    if (score < best_score) {
-      best_score = score;
-      best_j = j;
-      best_dir = dir;
-      if (bland) break;
-    }
-  }
-  if (best_j < 0) return false;  // optimal
-
-  apply_step(best_j, best_dir,
-             ratio_test(best_j, best_dir, /*phase1=*/false, bland));
-  return true;
-}
-
-double Simplex::objective_value() const {
-  double acc = lp_.cost_constant;
-  for (int j = 0; j < n_; ++j) acc += cost_[j] * val_[j];
-  return acc;
-}
-
-bool Simplex::run_phase2() {
-  init_reduced_costs();
+bool RevisedSimplex::run_phase2() {
   double last_obj = objective_value();
   int stall = 0;
   bool bland = false;
@@ -581,22 +537,25 @@ bool Simplex::run_phase2() {
       basis_repaired_ = false;
       return true;
     }
-    if (++iters_ > params_.max_iters || params_.deadline.expired() ||
-        params_.stop.stop_requested()) {
+    if (budget_exhausted()) {
       status_ = LpStatus::kIterLimit;
       return false;
     }
-    if (!phase2_step(bland)) {
-      // Confirm optimality against a freshly refactorized tableau: drifted
-      // reduced costs must not declare victory (or keep cycling) silently.
-      rebuild_tableau();
+    Candidate c = price(/*phase1=*/false, bland);
+    if (c.j < 0) {
+      // Confirm optimality against a fresh factorization: eta-file drift
+      // must not declare victory silently.
+      factorize_basis();
       if (basis_repaired_) continue;  // handled at the loop head
-      if (!phase2_step(bland)) {
+      c = price(/*phase1=*/false, bland);
+      if (c.j < 0) {
         status_ = LpStatus::kOptimal;
         return false;
       }
-      continue;
     }
+    ftran_column(c.j, w_);
+    apply_step(c.j, c.dir, w_,
+               ratio_test(w_, c.j, c.dir, /*phase1=*/false, bland));
     const double obj = objective_value();
     if (obj < last_obj - params_.opt_tol) {
       last_obj = obj;
@@ -605,52 +564,270 @@ bool Simplex::run_phase2() {
     } else if (++stall >= params_.stall_limit) {
       bland = true;
       stall = 0;
-      rebuild_tableau();
+      factorize_basis();
     }
   }
 }
 
-LpResult Simplex::run() {
-  build();
-  LpResult out;
-  bool feasible = run_phase1();
-  int restarts = 0;
-  while (feasible) {
-    basis_repaired_ = false;
-    const bool restart = run_phase2();
-    if (!restart) break;
-    if (++restarts > 5) {
-      status_ = LpStatus::kIterLimit;
-      feasible = false;
-      break;
-    }
-    feasible = run_phase1();
+void RevisedSimplex::compute_reduced_costs(std::vector<double>& d) {
+  y_work_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    y_work_[static_cast<std::size_t>(r)] =
+        cost_[basis_[static_cast<std::size_t>(r)]];
   }
-  if (feasible) {
-    if (status_ == LpStatus::kOptimal) {
-      refresh_basic_values();
-      // Clamp residual tolerance noise into the box before reporting.
-      out.x.resize(static_cast<std::size_t>(n_));
-      for (int j = 0; j < n_; ++j) {
-        out.x[static_cast<std::size_t>(j)] = std::clamp(val_[j], lo_[j], up_[j]);
-      }
-      out.objective = objective_value();
+  lu_.btran(y_work_);
+  d.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    if (is_basic(j)) continue;
+    d[static_cast<std::size_t>(j)] = cost_[j] - mat_.dot_column(j, y_work_);
+  }
+}
+
+void RevisedSimplex::restore_dual_feasibility(std::vector<double>& d) {
+  const double ftol = params_.feas_tol;
+  const double otol = params_.opt_tol;
+  long flips = 0;
+  for (int j = 0; j < cols_; ++j) {
+    if (is_basic(j) || col_span(j) < ftol) continue;
+    const bool at_lo =
+        std::fabs(val_[j] - lo_[j]) <= std::fabs(val_[j] - up_[j]);
+    if (at_lo && d[static_cast<std::size_t>(j)] < -otol) {
+      val_[j] = up_[j];
+      ++flips;
+    } else if (!at_lo && d[static_cast<std::size_t>(j)] > otol) {
+      val_[j] = lo_[j];
+      ++flips;
     }
+  }
+  if (flips > 0) compute_basic_values();
+}
+
+RevisedSimplex::DualOutcome RevisedSimplex::run_dual() {
+  const double ftol = params_.feas_tol;
+  std::vector<double> d;
+  compute_reduced_costs(d);
+  restore_dual_feasibility(d);
+
+  // Re-solves after a single bound change converge in a handful of pivots;
+  // anything past this cap smells of dual cycling — hand the basis over to
+  // the battle-tested primal phase 1 instead of spinning.
+  const long cap = std::max<long>(500, 2L * (m_ + cols_));
+  long taken = 0;
+  bool retried = false;
+  while (true) {
+    // Leaving row: the basic variable with the largest bound violation.
+    int r = -1;
+    double viol = ftol;
+    double sigma = 0.0;
+    double target = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (val_[b] < lo_[b] - viol) {
+        viol = lo_[b] - val_[b];
+        r = i;
+        sigma = -1.0;
+        target = lo_[b];
+      } else if (val_[b] > up_[b] + viol) {
+        viol = val_[b] - up_[b];
+        r = i;
+        sigma = 1.0;
+        target = up_[b];
+      }
+    }
+    if (r < 0) return DualOutcome::kFeasible;
+    if (++taken > cap) return DualOutcome::kFallback;
+    if (budget_exhausted()) {
+      status_ = LpStatus::kIterLimit;
+      return DualOutcome::kLimit;
+    }
+    ++dual_iters_;
+
+    // Pivot row: alpha_j = a_j · B^{-T} e_r for every nonbasic column.
+    rho_.assign(static_cast<std::size_t>(m_), 0.0);
+    rho_[static_cast<std::size_t>(r)] = 1.0;
+    lu_.btran(rho_);
+    alpha_.assign(static_cast<std::size_t>(cols_), 0.0);
+    for (int j = 0; j < cols_; ++j) {
+      if (is_basic(j)) continue;
+      alpha_[static_cast<std::size_t>(j)] = mat_.dot_column(j, rho_);
+    }
+
+    // Dual ratio test: the entering column must push the leaving value
+    // toward its violated bound (sign via sigma) while keeping every
+    // reduced cost on the right side of zero. Two passes: exact minimum
+    // ratio d_j/abar_j, then the largest |alpha| inside a tolerance window
+    // (stability).
+    const auto eligible = [&](int j, double* abar_out) {
+      if (is_basic(j) || col_span(j) < ftol) return false;
+      const double abar = sigma * alpha_[static_cast<std::size_t>(j)];
+      if (std::fabs(abar) <= kAlphaTol) return false;
+      const bool at_lo =
+          std::fabs(val_[j] - lo_[j]) <= std::fabs(val_[j] - up_[j]);
+      *abar_out = abar;
+      return at_lo ? abar > 0.0 : abar < 0.0;
+    };
+    double rmin = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < cols_; ++j) {
+      double abar;
+      if (!eligible(j, &abar)) continue;
+      rmin = std::min(rmin, d[static_cast<std::size_t>(j)] / abar);
+    }
+    if (!std::isfinite(rmin)) {
+      // No entering candidate: the violated row is (numerically) fixed —
+      // dual unbounded, i.e. primal infeasible. Confirm on a clean
+      // factorization before giving up.
+      if (!retried) {
+        retried = true;
+        factorize_basis();
+        if (basis_repaired_) return DualOutcome::kFallback;
+        compute_reduced_costs(d);
+        restore_dual_feasibility(d);
+        continue;
+      }
+      status_ = LpStatus::kInfeasible;
+      return DualOutcome::kInfeasible;
+    }
+    retried = false;
+    int q = -1;
+    double best_abs = 0.0;
+    for (int j = 0; j < cols_; ++j) {
+      double abar;
+      if (!eligible(j, &abar)) continue;
+      if (d[static_cast<std::size_t>(j)] / abar > rmin + 1e-9) continue;
+      if (std::fabs(abar) > best_abs) {
+        best_abs = std::fabs(abar);
+        q = j;
+      }
+    }
+    MLSI_ASSERT(q >= 0, "dual ratio test lost its entering column");
+
+    // Dual update: d_j -= theta * alpha_j; the leaving column picks up
+    // -theta, whose sign lands on the correct side for the bound it goes to.
+    const double theta =
+        d[static_cast<std::size_t>(q)] / alpha_[static_cast<std::size_t>(q)];
+    if (theta != 0.0) {
+      for (int j = 0; j < cols_; ++j) {
+        if (is_basic(j) || j == q) continue;
+        const double a = alpha_[static_cast<std::size_t>(j)];
+        if (a != 0.0) d[static_cast<std::size_t>(j)] -= theta * a;
+      }
+    }
+    const int leaving = basis_[static_cast<std::size_t>(r)];
+    d[static_cast<std::size_t>(leaving)] = -theta;
+    d[static_cast<std::size_t>(q)] = 0.0;
+
+    // Primal step: drive the leaving value exactly onto its bound. The
+    // entering column may overshoot its own far bound — that is fine: it
+    // becomes a primal-infeasible basic and a later dual pivot fixes it.
+    ftran_column(q, w_);
+    const double wr = w_[static_cast<std::size_t>(r)];
+    if (std::fabs(wr) <= kAlphaTol) {
+      // FTRAN disagrees with BTRAN about the pivot: stale etas. Rebuild and
+      // restart the iteration rather than risk a destabilizing pivot.
+      factorize_basis();
+      if (basis_repaired_) return DualOutcome::kFallback;
+      compute_reduced_costs(d);
+      restore_dual_feasibility(d);
+      continue;
+    }
+    const double delta = (val_[leaving] - target) / wr;
+    if (delta != 0.0) {
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w_[static_cast<std::size_t>(i)];
+        if (wi != 0.0) {
+          val_[basis_[static_cast<std::size_t>(i)]] -= wi * delta;
+        }
+      }
+      val_[q] += delta;
+    }
+    val_[leaving] = target;
+    basic_row_[leaving] = -1;
+    in_basis_[static_cast<std::size_t>(leaving)] = 0;
+    basis_[static_cast<std::size_t>(r)] = q;
+    basic_row_[q] = r;
+    in_basis_[static_cast<std::size_t>(q)] = 1;
+    if (!lu_.update(r, w_) || lu_.should_refactorize()) {
+      factorize_basis();
+      if (basis_repaired_) return DualOutcome::kFallback;
+      compute_reduced_costs(d);
+      restore_dual_feasibility(d);
+    } else if (++pivots_since_refresh_ >= kValueRefreshInterval) {
+      compute_basic_values();
+    }
+  }
+}
+
+LpResult RevisedSimplex::run() {
+  build();
+  bool terminal = false;  // the dual already set a final status
+  if (adopt_warm_basis()) {
+    used_warm_start_ = true;
+    switch (run_dual()) {
+      case DualOutcome::kFeasible:
+      case DualOutcome::kFallback:
+        break;  // finish (or re-establish feasibility) on the primal side
+      case DualOutcome::kInfeasible:
+      case DualOutcome::kLimit:
+        terminal = true;
+        break;
+    }
+  } else {
+    cold_start();
+  }
+
+  bool feasible = false;
+  if (!terminal) {
+    feasible = run_phase1();
+    int restarts = 0;
+    while (feasible) {
+      basis_repaired_ = false;
+      const bool restart = run_phase2();
+      if (!restart) break;
+      if (++restarts > 5) {
+        status_ = LpStatus::kIterLimit;
+        feasible = false;
+        break;
+      }
+      feasible = run_phase1();
+    }
+  }
+
+  LpResult out;
+  if (feasible && status_ == LpStatus::kOptimal) {
+    compute_basic_values();
+    // Clamp residual tolerance noise into the box before reporting.
+    out.x.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      out.x[static_cast<std::size_t>(j)] = std::clamp(val_[j], lo_[j], up_[j]);
+    }
+    out.objective = objective_value();
   }
   out.status = status_;
-  out.basis = basis_;
+  out.basis.basic = basis_;
+  out.basis.status.resize(static_cast<std::size_t>(cols_));
+  for (int j = 0; j < cols_; ++j) {
+    if (is_basic(j)) {
+      out.basis.status[static_cast<std::size_t>(j)] = ColStatus::kBasic;
+    } else {
+      out.basis.status[static_cast<std::size_t>(j)] =
+          std::fabs(val_[j] - up_[j]) < std::fabs(val_[j] - lo_[j])
+              ? ColStatus::kAtUpper
+              : ColStatus::kAtLower;
+    }
+  }
   out.iterations = iters_;
+  out.phase1_iterations = phase1_iters_;
+  out.dual_iterations = dual_iters_;
+  out.factorizations = lu_.factorizations();
+  out.used_warm_start = used_warm_start_;
   return out;
 }
 
 }  // namespace
 
 LpResult solve_lp(const LpProblem& lp, const LpParams& params) {
-  MLSI_ASSERT(static_cast<int>(lp.lb.size()) == lp.num_vars &&
-                  static_cast<int>(lp.ub.size()) == lp.num_vars &&
-                  static_cast<int>(lp.cost.size()) == lp.num_vars,
-              "LpProblem vector sizes disagree with num_vars");
-  Simplex solver(lp, params);
+  if (params.use_dense) return solve_lp_dense(lp, params);
+  RevisedSimplex solver(lp, params);
   return solver.run();
 }
 

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file simplex.hpp
-/// \brief Bounded-variable two-phase primal simplex for LP relaxations.
+/// \brief Sparse revised simplex (primal + dual) for LP relaxations.
 ///
 /// Scope: the LPs arising from linearized switch-synthesis models. All
 /// structural variables carry finite bounds (Model enforces this), which
@@ -9,13 +9,26 @@
 /// blocked either by a basic variable's bound or by the entering variable's
 /// own bound span.
 ///
-/// Method: dense tableau over [A | -I] with one slack per row
-/// (a_r·x - s_r = 0, slack bounds = row bounds clipped to the row's
-/// activity range). Phase 1 minimizes the sum of primal infeasibilities
-/// with dynamically recomputed gradient costs and short-step blocking;
-/// Phase 2 runs Dantzig pricing with a pivoted reduced-cost row. Bland's
-/// rule engages after a stall to guarantee termination; basic values are
-/// refreshed from nonbasic bounds periodically to cap drift.
+/// Method: revised simplex over the CSC working matrix [A | -I] with one
+/// slack per row (a_r·x - s_r = 0, slack bounds = row bounds clipped to the
+/// row's activity range). The basis is held as a Markowitz-ordered eta-file
+/// LU factorization with product-form pivot updates and periodic refactor
+/// (basis_lu.hpp); solves go through sparse FTRAN/BTRAN, never an explicit
+/// inverse. Phase 1 minimizes the sum of primal infeasibilities with
+/// dynamically recomputed gradient costs and short-step blocking; phase 2
+/// runs Dantzig pricing over packed columns with a rotating partial-pricing
+/// cursor. The ratio test is two-pass Harris-style; Bland's rule engages
+/// after a stall to guarantee termination.
+///
+/// Warm starts: a caller holding an optimal parent basis (branch & bound
+/// after a single bound change) re-enters through the bounded-variable
+/// *dual* simplex — the parent basis stays dual feasible under bound
+/// changes (any wrong-sign reduced cost is curable by a bound flip, since
+/// every column is boxed), so the child needs a handful of dual pivots
+/// instead of a cold phase 1.
+///
+/// The original dense tableau implementation is retained behind
+/// LpParams::use_dense as a differential-testing oracle.
 
 #include <cstdint>
 #include <string>
@@ -49,14 +62,39 @@ enum class LpStatus {
   kIterLimit,  ///< max_iters or deadline hit before convergence
 };
 
+/// Status of one working column (structural or slack) in a basis snapshot.
+enum class ColStatus : char {
+  kAtLower = 0,
+  kAtUpper = 1,
+  kBasic = 2,
+};
+
+/// \brief A complete basis snapshot: which column is basic in each row plus
+/// the bound every nonbasic column rests at.
+///
+/// The basic set alone does not determine the vertex for bounded variables;
+/// the at-lower/at-upper split is what lets a child node reconstruct the
+/// parent's point exactly and re-enter through the dual simplex.
+struct LpBasis {
+  std::vector<int> basic;       ///< size #rows: column id basic in that row
+  std::vector<ColStatus> status;  ///< size num_vars + #rows
+  [[nodiscard]] bool empty() const { return basic.empty() && status.empty(); }
+};
+
 struct LpResult {
   LpStatus status = LpStatus::kIterLimit;
-  double objective = 0.0;       ///< includes cost_constant (valid when optimal)
-  std::vector<double> x;        ///< structural values (valid when optimal)
-  /// Final basis (one column id per row); feed back via LpParams::warm_basis
-  /// to warm-start a re-solve after bound changes (branch & bound children).
-  std::vector<int> basis;
-  long iterations = 0;
+  double objective = 0.0;  ///< includes cost_constant (valid when optimal)
+  std::vector<double> x;   ///< structural values (valid when optimal)
+  /// Final basis snapshot; feed back via LpParams::warm_basis to warm-start
+  /// a re-solve after bound changes (branch & bound children).
+  LpBasis basis;
+  long iterations = 0;        ///< total pivots/flips (primal + dual)
+  long phase1_iterations = 0; ///< primal phase-1 share of `iterations`
+  long dual_iterations = 0;   ///< dual-simplex share of `iterations`
+  long factorizations = 0;    ///< basis (re)factorizations performed
+  /// True when the caller's warm basis was adopted and the solve never had
+  /// to cold-start from the slack basis.
+  bool used_warm_start = false;
 };
 
 struct LpParams {
@@ -69,12 +107,17 @@ struct LpParams {
   /// Cooperative cancellation: checked once per pivot alongside the
   /// deadline. Default-constructed: never stops.
   support::StopToken stop;
-  /// Optional starting basis (size = #rows, entries are column ids as in
-  /// LpResult::basis). The basis matrix is independent of variable bounds,
-  /// so a parent node's basis is always valid for a child; phase 1 then
-  /// usually needs only a handful of pivots. Invalid input falls back to
-  /// the slack basis.
-  const std::vector<int>* warm_basis = nullptr;
+  /// Optional starting basis (an LpResult::basis from a previous solve of
+  /// the same problem shape, typically after bound changes). The basis
+  /// matrix is independent of variable bounds, so a parent node's basis is
+  /// always structurally valid for a child; the revised solver re-enters
+  /// through the dual simplex, the dense oracle re-adopts it primally.
+  /// Invalid input falls back to the slack-basis cold start.
+  const LpBasis* warm_basis = nullptr;
+  /// Route the solve through the retained dense-tableau implementation
+  /// (simplex_dense.cpp). Slower on everything but tiny LPs; kept as the
+  /// differential-testing oracle for the revised method.
+  bool use_dense = false;
 };
 
 /// Solves \p lp. Deterministic for a given input.

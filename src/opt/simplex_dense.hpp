@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file simplex_dense.hpp
+/// \brief The original dense-tableau simplex, retained as a differential-
+/// testing oracle behind LpParams::use_dense (see simplex.hpp).
+
+#include "opt/simplex.hpp"
+
+namespace mlsi::opt {
+
+/// Dense bounded-variable two-phase tableau simplex. Same contract as
+/// solve_lp(); reached via LpParams::use_dense.
+LpResult solve_lp_dense(const LpProblem& lp, const LpParams& params);
+
+}  // namespace mlsi::opt

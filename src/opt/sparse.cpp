@@ -1,0 +1,154 @@
+#include "opt/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/status.hpp"
+
+namespace mlsi::opt {
+
+void CscMatrix::add_column(int j, double scale, std::vector<double>& y) const {
+  const int s = start[static_cast<std::size_t>(j)];
+  const int e = start[static_cast<std::size_t>(j) + 1];
+  for (int k = s; k < e; ++k) {
+    y[static_cast<std::size_t>(index[static_cast<std::size_t>(k)])] +=
+        scale * value[static_cast<std::size_t>(k)];
+  }
+}
+
+double CscMatrix::dot_column(int j, const std::vector<double>& y) const {
+  const int s = start[static_cast<std::size_t>(j)];
+  const int e = start[static_cast<std::size_t>(j) + 1];
+  double acc = 0.0;
+  for (int k = s; k < e; ++k) {
+    acc += value[static_cast<std::size_t>(k)] *
+           y[static_cast<std::size_t>(index[static_cast<std::size_t>(k)])];
+  }
+  return acc;
+}
+
+CscMatrix build_working_matrix(const LpProblem& lp) {
+  const int m = static_cast<int>(lp.rows.size());
+  const int n = lp.num_vars;
+  CscMatrix mat;
+  mat.rows = m;
+  mat.cols = n + m;
+
+  // Count entries per structural column (duplicates counted once merged —
+  // count raw first, merge during the fill pass via a dense accumulator).
+  std::vector<int> count(static_cast<std::size_t>(n), 0);
+  for (const LpRow& row : lp.rows) {
+    for (const auto& [c, a] : row.terms) {
+      MLSI_ASSERT(c >= 0 && c < n, "LP row references unknown column");
+      (void)a;
+      ++count[static_cast<std::size_t>(c)];
+    }
+  }
+  mat.start.assign(static_cast<std::size_t>(mat.cols) + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    mat.start[static_cast<std::size_t>(j) + 1] =
+        mat.start[static_cast<std::size_t>(j)] +
+        count[static_cast<std::size_t>(j)];
+  }
+  // Slack columns have exactly one entry each.
+  for (int r = 0; r < m; ++r) {
+    mat.start[static_cast<std::size_t>(n + r) + 1] =
+        mat.start[static_cast<std::size_t>(n + r)] + 1;
+  }
+  mat.index.resize(static_cast<std::size_t>(mat.start.back()));
+  mat.value.resize(static_cast<std::size_t>(mat.start.back()));
+
+  // Fill the structural columns row by row; within a column this produces
+  // ascending row order automatically (possibly with duplicates).
+  std::vector<int> cursor(mat.start.begin(), mat.start.begin() + n);
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [c, a] : lp.rows[static_cast<std::size_t>(r)].terms) {
+      const int k = cursor[static_cast<std::size_t>(c)]++;
+      mat.index[static_cast<std::size_t>(k)] = r;
+      mat.value[static_cast<std::size_t>(k)] = a;
+    }
+  }
+  // Merge duplicate rows within each column (duplicates are adjacent).
+  int write = 0;
+  std::vector<int> new_start(static_cast<std::size_t>(mat.cols) + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    const int s = mat.start[static_cast<std::size_t>(j)];
+    const int e = cursor[static_cast<std::size_t>(j)];
+    new_start[static_cast<std::size_t>(j)] = write;
+    int k = s;
+    while (k < e) {
+      const int row = mat.index[static_cast<std::size_t>(k)];
+      double acc = 0.0;
+      while (k < e && mat.index[static_cast<std::size_t>(k)] == row) {
+        acc += mat.value[static_cast<std::size_t>(k)];
+        ++k;
+      }
+      if (acc != 0.0) {
+        mat.index[static_cast<std::size_t>(write)] = row;
+        mat.value[static_cast<std::size_t>(write)] = acc;
+        ++write;
+      }
+    }
+  }
+  new_start[static_cast<std::size_t>(n)] = write;
+  // Rewrite the slack columns after the (possibly shrunk) structural block.
+  for (int r = 0; r < m; ++r) {
+    mat.index[static_cast<std::size_t>(write)] = r;
+    mat.value[static_cast<std::size_t>(write)] = -1.0;
+    ++write;
+    new_start[static_cast<std::size_t>(n + r) + 1] = write;
+  }
+  for (int r = 0; r < m; ++r) {
+    new_start[static_cast<std::size_t>(n + r)] =
+        new_start[static_cast<std::size_t>(n + r) + 1] - 1;
+  }
+  mat.index.resize(static_cast<std::size_t>(write));
+  mat.value.resize(static_cast<std::size_t>(write));
+  mat.start = std::move(new_start);
+  return mat;
+}
+
+WorkingColumns build_working_columns(const LpProblem& lp) {
+  const int m = static_cast<int>(lp.rows.size());
+  const int n = lp.num_vars;
+  const int cols = n + m;
+  WorkingColumns out;
+  out.lo.resize(static_cast<std::size_t>(cols));
+  out.up.resize(static_cast<std::size_t>(cols));
+  out.cost.assign(static_cast<std::size_t>(cols), 0.0);
+  for (int j = 0; j < n; ++j) {
+    out.lo[static_cast<std::size_t>(j)] = lp.lb[static_cast<std::size_t>(j)];
+    out.up[static_cast<std::size_t>(j)] = lp.ub[static_cast<std::size_t>(j)];
+    out.cost[static_cast<std::size_t>(j)] = lp.cost[static_cast<std::size_t>(j)];
+    MLSI_ASSERT(std::isfinite(out.lo[static_cast<std::size_t>(j)]) &&
+                    std::isfinite(out.up[static_cast<std::size_t>(j)]),
+                "simplex requires finite structural bounds");
+  }
+  for (int r = 0; r < m; ++r) {
+    const LpRow& row = lp.rows[static_cast<std::size_t>(r)];
+    double act_lo = 0.0;
+    double act_hi = 0.0;
+    for (const auto& [c, a] : row.terms) {
+      if (a >= 0) {
+        act_lo += a * out.lo[static_cast<std::size_t>(c)];
+        act_hi += a * out.up[static_cast<std::size_t>(c)];
+      } else {
+        act_lo += a * out.up[static_cast<std::size_t>(c)];
+        act_hi += a * out.lo[static_cast<std::size_t>(c)];
+      }
+    }
+    const int sj = n + r;
+    out.lo[static_cast<std::size_t>(sj)] = std::max(row.lo, act_lo);
+    out.up[static_cast<std::size_t>(sj)] = std::min(row.hi, act_hi);
+    if (out.lo[static_cast<std::size_t>(sj)] >
+        out.up[static_cast<std::size_t>(sj)]) {
+      const double pin = row.hi < act_lo ? row.hi : row.lo;
+      out.lo[static_cast<std::size_t>(sj)] = pin;
+      out.up[static_cast<std::size_t>(sj)] = pin;
+    }
+  }
+  return out;
+}
+
+}  // namespace mlsi::opt

@@ -107,13 +107,16 @@ Status IqpBuilder::collect_candidates() {
     total += cand.size();
   }
 
-  // Practical size guard for the dense-tableau LP (see header).
+  // Practical size guard for the built-in MILP solver (see header). The
+  // sparse revised simplex makes each relaxation cheap, but the binding
+  // bottleneck is branch & bound itself: node counts explode on big
+  // path-assignment models regardless of per-LP speed.
   if (total > 2000) {
     return Status::InvalidArgument(
         cat("IQP model would have ", total,
-            " path-assignment variables; this exceeds the built-in dense LP's "
-            "practical size — use the cp engine (the thesis needed hours of "
-            "Gurobi time on models of this shape)"));
+            " path-assignment variables; branch & bound does not scale to "
+            "models of this shape — use the cp engine (the thesis needed "
+            "hours of Gurobi time here)"));
   }
   return Status::Ok();
 }
@@ -437,6 +440,10 @@ Result<SynthesisResult> IqpBuilder::extract(const opt::Solution& sol,
   out.stats.runtime_s = runtime_s;
   out.stats.nodes = sol.stats.nodes;
   out.stats.proven_optimal = sol.status == opt::MilpStatus::kOptimal;
+  out.stats.lp_iterations = sol.stats.lp_iterations;
+  out.stats.lp_factorizations = sol.stats.lp_factorizations;
+  out.stats.warm_starts = sol.stats.warm_starts;
+  out.stats.cold_starts = sol.stats.cold_starts;
   return out;
 }
 

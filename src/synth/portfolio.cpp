@@ -129,6 +129,10 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
   // objectives — so once every partition completed, the best realized
   // objective is the global optimum.
   long total_nodes = 0;
+  long total_lp_iterations = 0;
+  long total_lp_factorizations = 0;
+  long total_warm_starts = 0;
+  long total_cold_starts = 0;
   int best = -1;
   bool all_exact = true;   // every racer that had to finish did, exactly
   bool any_truncated = false;
@@ -146,6 +150,10 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
     const auto& outcome = outcomes[i];
     if (outcome.ok()) {
       total_nodes += outcome->stats.nodes;
+      total_lp_iterations += outcome->stats.lp_iterations;
+      total_lp_factorizations += outcome->stats.lp_factorizations;
+      total_warm_starts += outcome->stats.warm_starts;
+      total_cold_starts += outcome->stats.cold_starts;
       if (!outcome->stats.proven_optimal) any_truncated = true;
       if (best < 0 ||
           improves(*outcome, *outcomes[static_cast<std::size_t>(best)])) {
@@ -177,6 +185,10 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
                            racers.size(), ")");
     out.stats.proven_optimal = proven;
     out.stats.nodes = total_nodes;
+    out.stats.lp_iterations = total_lp_iterations;
+    out.stats.lp_factorizations = total_lp_factorizations;
+    out.stats.warm_starts = total_warm_starts;
+    out.stats.cold_starts = total_cold_starts;
     out.stats.runtime_s = timer.seconds();
     return out;
   }

@@ -139,6 +139,7 @@ PressureGroups pressure_groups_ilp(
   if (!sol.has_solution()) return greedy;  // budget fallback
 
   PressureGroups out;
+  out.milp_stats = sol.stats;
   out.group.assign(static_cast<std::size_t>(n), -1);
   // Compact clique ids to 0..k-1 in first-use order.
   std::map<int, int> remap;

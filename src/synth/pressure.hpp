@@ -24,6 +24,9 @@ struct PressureGroups {
   std::vector<int> group;  ///< per valve index, 0-based group id
   int num_groups = 0;
   bool proven_optimal = false;
+  /// Solver telemetry from pressure_groups_ilp (zeros for the greedy path,
+  /// and for ILP runs that fell back to greedy before solving).
+  opt::SolveStats milp_stats;
 };
 
 /// Compatibility matrix: compatible[i][j] == valves i and j can share.

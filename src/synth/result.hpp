@@ -36,6 +36,12 @@ struct EngineStats {
   double runtime_s = 0.0; ///< the paper's column T
   long nodes = 0;         ///< search nodes / B&B nodes
   bool proven_optimal = false;
+  // LP-engine telemetry (nonzero only on MILP-backed paths: the iqp engine
+  // and the pressure-sharing ILP).
+  long lp_iterations = 0;     ///< simplex pivots across all relaxations
+  long lp_factorizations = 0; ///< basis (re)factorizations
+  long warm_starts = 0;       ///< child LPs re-entered from a parent basis
+  long cold_starts = 0;       ///< LPs cold-started from the slack basis
 };
 
 struct SynthesisResult {

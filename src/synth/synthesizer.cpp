@@ -85,6 +85,11 @@ void Synthesizer::apply_post_processing(SynthesisResult& result) const {
               : pressure_groups_ilp(compat, milp);
       result.pressure_group = groups.group;
       result.num_pressure_groups = groups.num_groups;
+      // Surface the ILP's LP-engine telemetry next to the search stats.
+      result.stats.lp_iterations += groups.milp_stats.lp_iterations;
+      result.stats.lp_factorizations += groups.milp_stats.lp_factorizations;
+      result.stats.warm_starts += groups.milp_stats.warm_starts;
+      result.stats.cold_starts += groups.milp_stats.cold_starts;
       break;
     }
   }

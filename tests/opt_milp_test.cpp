@@ -243,5 +243,63 @@ TEST_P(MilpRandomTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MilpRandomTest, ::testing::Range(0, 80));
 
+// --- warm-start accounting ---------------------------------------------------
+
+TEST(MilpTest, ChildNodesWarmStartFromParentBasis) {
+  // A model fractional enough to force real branching: every non-root node
+  // is posed with its parent's basis, so cold starts stay at exactly the
+  // LPs that could not adopt one (the root, plus any repair fallback).
+  Model m;
+  std::vector<Var> xs;
+  for (int j = 0; j < 8; ++j) xs.push_back(m.add_binary("x"));
+  QuadExpr obj;
+  LinExpr sum;
+  for (int j = 0; j < 8; ++j) {
+    obj.add(xs[static_cast<std::size_t>(j)], j % 2 == 0 ? -3.0 : -5.0);
+    sum += LinExpr{xs[static_cast<std::size_t>(j)]} * (1.0 + 0.5 * j);
+  }
+  m.add_constraint(sum, Sense::kLe, 9.7);
+  m.set_objective(obj, /*minimize=*/true);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_EQ(s.stats.warm_starts + s.stats.cold_starts, s.stats.nodes);
+  ASSERT_GT(s.stats.nodes, 1) << "model did not branch; test is vacuous";
+  // Every non-root node offers a parent basis; warm adoption must be the
+  // overwhelming norm (cold fallbacks only on repair, which is rare).
+  EXPECT_GE(s.stats.warm_starts, (s.stats.nodes - 1) / 2);
+  EXPECT_GE(s.stats.cold_starts, 1);  // the root has no parent
+  EXPECT_GT(s.stats.lp_factorizations, 0);
+}
+
+TEST(MilpTest, DenseLpEngineAgreesWithRevised) {
+  // The whole branch & bound, run once per LP engine, must land on the
+  // same optimum (tree shapes may differ: vertices can tie).
+  Rng rng(424243);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.next_int(4, 9);
+    Model m;
+    std::vector<Var> xs;
+    for (int j = 0; j < n; ++j) xs.push_back(m.add_binary("x"));
+    LinExpr sum;
+    QuadExpr obj;
+    for (int j = 0; j < n; ++j) {
+      sum += LinExpr{xs[static_cast<std::size_t>(j)]} *
+             static_cast<double>(rng.next_int(1, 4));
+      obj.add(xs[static_cast<std::size_t>(j)],
+              static_cast<double>(rng.next_int(-5, -1)));
+    }
+    m.add_constraint(sum, Sense::kLe, static_cast<double>(rng.next_int(2, 8)));
+    m.set_objective(obj, /*minimize=*/true);
+
+    MilpParams dense_params;
+    dense_params.lp.use_dense = true;
+    const Solution a = solve_milp(m);
+    const Solution b = solve_milp(m, dense_params);
+    ASSERT_EQ(a.status, MilpStatus::kOptimal);
+    ASSERT_EQ(b.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace mlsi::opt

@@ -182,17 +182,150 @@ TEST(SimplexTest, WarmBasisReproducesOptimum) {
   ASSERT_EQ(cold2.status, LpStatus::kOptimal);
   ASSERT_EQ(warm.status, LpStatus::kOptimal);
   EXPECT_NEAR(warm.objective, cold2.objective, 1e-6);
+  // The dual entry must have done the work: the parent basis was adopted
+  // and primal phase 1 never ran.
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_EQ(warm.phase1_iterations, 0);
+}
+
+TEST(SimplexTest, WarmStartAfterLowerBoundTightening) {
+  // Branch "up" direction: raise a lower bound past the parent optimum.
+  auto lp = make_problem(3, {0, 0, 0}, {6, 6, 6}, {1, 2, -1});
+  add_row(lp, {{0, 1.0}, {1, 1.0}, {2, 1.0}}, 4.0, 10.0);
+  add_row(lp, {{0, 2.0}, {1, -1.0}}, -kInf, 5.0);
+  const auto parent = solve_lp(lp);
+  ASSERT_EQ(parent.status, LpStatus::kOptimal);
+
+  lp.lb[1] = 3.0;
+  const auto cold = solve_lp(lp);
+  LpParams warm_params;
+  warm_params.warm_basis = &parent.basis;
+  const auto warm = solve_lp(lp, warm_params);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_EQ(warm.phase1_iterations, 0);
+}
+
+TEST(SimplexTest, WarmStartDetectsInfeasibleChild) {
+  // Tightening makes the child infeasible: the dual simplex must prove it
+  // (dual unboundedness) without a primal phase-1 round trip.
+  auto lp = make_problem(2, {0, 0}, {4, 4}, {1, 1});
+  add_row(lp, {{0, 1.0}, {1, 1.0}}, 6.0, kInf);  // x + y >= 6
+  const auto parent = solve_lp(lp);
+  ASSERT_EQ(parent.status, LpStatus::kOptimal);
+  EXPECT_NEAR(parent.objective, 6.0, 1e-6);
+
+  lp.ub[0] = 1.0;  // now max achievable x + y = 5 < 6
+  LpParams warm_params;
+  warm_params.warm_basis = &parent.basis;
+  const auto warm = solve_lp(lp, warm_params);
+  EXPECT_EQ(warm.status, LpStatus::kInfeasible);
+  EXPECT_TRUE(warm.used_warm_start);
+  // Cross-check against the cold solve.
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
 }
 
 TEST(SimplexTest, InvalidWarmBasisFallsBack) {
   auto lp = make_problem(2, {0, 0}, {4, 4}, {-1, -1});
   add_row(lp, {{0, 1.0}, {1, 1.0}}, -kInf, 5.0);
-  const std::vector<int> bogus{99};  // wrong size and out of range
+  LpBasis bogus;
+  bogus.basic = {99};  // out of range, and status is missing entirely
   LpParams params;
   params.warm_basis = &bogus;
   const auto res = solve_lp(lp, params);
   ASSERT_EQ(res.status, LpStatus::kOptimal);
   EXPECT_NEAR(res.objective, -5.0, 1e-6);
+  EXPECT_FALSE(res.used_warm_start);
+}
+
+TEST(SimplexTest, DuplicateColumnWarmBasisFallsBack) {
+  auto lp = make_problem(2, {0, 0}, {4, 4}, {-1, -1});
+  add_row(lp, {{0, 1.0}, {1, 1.0}}, -kInf, 5.0);
+  LpBasis bogus;
+  bogus.status.assign(3, ColStatus::kAtLower);
+  bogus.basic = {2, 2};  // duplicate (and too long for one row)
+  LpParams params;
+  params.warm_basis = &bogus;
+  const auto res = solve_lp(lp, params);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -5.0, 1e-6);
+  EXPECT_FALSE(res.used_warm_start);
+}
+
+TEST(SimplexTest, BealeCycleGuard) {
+  // Beale's classic cycling example (dictionary form). Dantzig pricing with
+  // a naive ratio test cycles forever; the stall counter must force Bland's
+  // rule and terminate at the known optimum -0.05.
+  auto lp = make_problem(4, {0, 0, 0, 0}, {100, 100, 100, 100},
+                         {-0.75, 150.0, -0.02, 6.0});
+  add_row(lp, {{0, 0.25}, {1, -60.0}, {2, -1.0 / 25.0}, {3, 9.0}}, -kInf, 0.0);
+  add_row(lp, {{0, 0.5}, {1, -90.0}, {2, -1.0 / 50.0}, {3, 3.0}}, -kInf, 0.0);
+  add_row(lp, {{2, 1.0}}, -kInf, 1.0);
+  LpParams params;
+  params.stall_limit = 4;  // provoke the Bland fallback quickly
+  const auto res = solve_lp(lp, params);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -0.05, 1e-6);
+}
+
+TEST(SimplexTest, HighlyDegenerateTransportLp) {
+  // A transportation-style LP where every vertex is massively degenerate:
+  // supplies equal demands, so basic feasible solutions carry many zero
+  // basics. Checks termination and the known optimum under degeneracy.
+  constexpr int kSz = 4;
+  LpProblem lp;
+  lp.num_vars = kSz * kSz;
+  lp.lb.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  lp.ub.assign(static_cast<std::size_t>(lp.num_vars), 1.0);
+  lp.cost.resize(static_cast<std::size_t>(lp.num_vars));
+  for (int i = 0; i < kSz; ++i) {
+    for (int j = 0; j < kSz; ++j) {
+      lp.cost[static_cast<std::size_t>(kSz * i + j)] = i == j ? 1.0 : 2.0;
+    }
+  }
+  for (int i = 0; i < kSz; ++i) {
+    std::vector<std::pair<int, double>> rowr;
+    std::vector<std::pair<int, double>> colr;
+    for (int j = 0; j < kSz; ++j) {
+      rowr.emplace_back(kSz * i + j, 1.0);
+      colr.emplace_back(kSz * j + i, 1.0);
+    }
+    add_row(lp, std::move(rowr), 1.0, 1.0);
+    add_row(lp, std::move(colr), 1.0, 1.0);
+  }
+  LpParams params;
+  params.stall_limit = 2;  // exercise Bland under heavy degeneracy
+  const auto res = solve_lp(lp, params);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, static_cast<double>(kSz), 1e-6);
+}
+
+TEST(SimplexTest, HugeBoundsStandInForUnbounded) {
+  // The method requires finite boxes; "unbounded" LPs appear as huge boxes
+  // and must still solve cleanly to the box corner instead of overflowing.
+  auto lp = make_problem(2, {-1e9, -1e9}, {1e9, 1e9}, {1.0, 0.5});
+  add_row(lp, {{0, 1.0}, {1, -1.0}}, -kInf, 1e9);
+  const auto res = solve_lp(lp);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.5e9, 1.0);
+  EXPECT_NEAR(res.x[0], -1e9, 1e-3);
+  EXPECT_NEAR(res.x[1], -1e9, 1e-3);
+}
+
+TEST(SimplexTest, DenseOracleAgreesOnTextbookLp) {
+  auto lp = make_problem(2, {0, 0}, {100, 100}, {-3, -5});
+  add_row(lp, {{0, 1.0}}, -kInf, 4);
+  add_row(lp, {{1, 2.0}}, -kInf, 12);
+  add_row(lp, {{0, 3.0}, {1, 2.0}}, -kInf, 18);
+  LpParams dense;
+  dense.use_dense = true;
+  const auto a = solve_lp(lp);
+  const auto b = solve_lp(lp, dense);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
 }
 
 // --- randomized properties ---------------------------------------------------
@@ -303,6 +436,88 @@ TEST_P(SimplexRandomTest, OptimumIsFeasibleAndUnbeatenBySampling) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SimplexRandomTest, ::testing::Range(0, 60));
+
+// --- revised vs dense differential fuzz --------------------------------------
+//
+// The dense tableau implementation is the oracle: on every random sparse
+// instance both solvers must agree on the status and, when optimal, on the
+// objective (the vertex itself may legitimately differ under ties). Batched
+// 100 instances per test case to keep ctest granularity reasonable while
+// totalling >= 500 instances across the suite.
+
+class SimplexDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDifferentialTest, RevisedMatchesDenseOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (int inst = 0; inst < 100; ++inst) {
+    const int n = rng.next_int(1, 12);
+    const int m = rng.next_int(1, 12);
+    const auto lp = random_lp(rng, n, m).lp;
+    LpParams dense_params;
+    dense_params.use_dense = true;
+    const auto revised = solve_lp(lp);
+    const auto dense = solve_lp(lp, dense_params);
+    ASSERT_EQ(revised.status, dense.status)
+        << "status mismatch on seed " << GetParam() << " instance " << inst;
+    if (revised.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(revised.objective, dense.objective, 1e-5)
+          << "objective mismatch on seed " << GetParam() << " instance "
+          << inst;
+      EXPECT_TRUE(point_feasible(lp, revised.x))
+          << "revised optimum infeasible on seed " << GetParam()
+          << " instance " << inst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SimplexDifferentialTest,
+                         ::testing::Range(0, 6));
+
+// Warm-started re-solves after a single bound change — the branch & bound
+// access pattern — must agree with cold solves of the child on every
+// random instance (objective parity, or matching infeasibility).
+class SimplexWarmFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmFuzzTest, WarmChildMatchesColdChild) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 3);
+  for (int inst = 0; inst < 60; ++inst) {
+    const int n = rng.next_int(2, 10);
+    const int m = rng.next_int(1, 10);
+    auto lp = random_lp(rng, n, m).lp;
+    const auto parent = solve_lp(lp);
+    if (parent.status != LpStatus::kOptimal) continue;
+
+    // Branch on a random variable at its relaxation value.
+    const int j = rng.next_int(0, n - 1);
+    const double v = parent.x[static_cast<std::size_t>(j)];
+    if (rng.next_bool(0.5)) {
+      lp.ub[static_cast<std::size_t>(j)] = std::floor(v);
+    } else {
+      lp.lb[static_cast<std::size_t>(j)] = std::floor(v) + 1.0;
+    }
+    if (lp.lb[static_cast<std::size_t>(j)] >
+        lp.ub[static_cast<std::size_t>(j)]) {
+      continue;  // empty box: B&B would never pose this child
+    }
+
+    const auto cold = solve_lp(lp);
+    LpParams warm_params;
+    warm_params.warm_basis = &parent.basis;
+    const auto warm = solve_lp(lp, warm_params);
+    ASSERT_EQ(warm.status, cold.status)
+        << "status mismatch on seed " << GetParam() << " instance " << inst;
+    if (cold.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-5)
+          << "objective mismatch on seed " << GetParam() << " instance "
+          << inst;
+      EXPECT_TRUE(point_feasible(lp, warm.x))
+          << "warm optimum infeasible on seed " << GetParam() << " instance "
+          << inst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SimplexWarmFuzzTest, ::testing::Range(0, 5));
 
 }  // namespace
 }  // namespace mlsi::opt
