@@ -11,13 +11,24 @@
 
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "io/case_io.hpp"
 #include "io/report.hpp"
 #include "io/svg.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "support/strings.hpp"
 #include "synth/synthesizer.hpp"
+
+// Build provenance; the bench CMakeLists defines both, but keep fallbacks so
+// the header stays usable from ad-hoc builds.
+#ifndef MLSI_GIT_SHA
+#define MLSI_GIT_SHA "unknown"
+#endif
+#ifndef MLSI_BUILD_TYPE
+#define MLSI_BUILD_TYPE "unknown"
+#endif
 
 namespace mlsi::bench {
 
@@ -50,8 +61,17 @@ class Telemetry {
     records_.push_back(json::Value{std::move(rec)});
     json::Object doc;
     doc["bench"] = json::Value{name_};
-    doc["schema"] = json::Value{1};
+    // Schema history: v1 bench/records only; v2 adds provenance
+    // (git_sha/build_type/threads) and the metrics snapshot.
+    doc["schema"] = json::Value{2};
+    doc["git_sha"] = json::Value{MLSI_GIT_SHA};
+    doc["build_type"] = json::Value{MLSI_BUILD_TYPE};
+    doc["threads"] =
+        json::Value{static_cast<int>(std::thread::hardware_concurrency())};
     doc["records"] = json::Value{records_};
+    // Registry snapshot at this point in the sweep: LP/solver aggregates
+    // across every record so far (init() turned collection on).
+    doc["metrics"] = obs::Metrics::instance().snapshot();
     (void)json::write_file(out_dir() + "/BENCH_" + name_ + ".json",
                            json::Value{std::move(doc)});
   }
@@ -62,8 +82,11 @@ class Telemetry {
 };
 
 /// Names this binary's telemetry stream (call once at the top of main).
+/// Also turns on metrics collection so every BENCH_<name>.json carries the
+/// solver-internals snapshot next to the per-case records.
 inline void init(const std::string& bench_name) {
   Telemetry::instance().init(bench_name);
+  obs::Metrics::instance().enable();
 }
 
 /// One synthesized-and-validated case.

@@ -51,6 +51,18 @@ int run_smoke() {
     std::printf("SMOKE FAIL: design is not contamination-free\n");
     return 1;
   }
+  // The incumbent/gap timeline must close: a proven solve records a final
+  // 0 in the search.gap series (bench::init turned metrics on).
+  if (!obs::Metrics::instance().has_series("search.gap")) {
+    std::printf("SMOKE FAIL: no search.gap series was recorded\n");
+    return 1;
+  }
+  const obs::Series& gap = obs::metrics().series("search.gap");
+  if (gap.empty() || gap.last_value() != 0.0) {
+    std::printf("SMOKE FAIL: search.gap did not reach 0 (last=%.6f)\n",
+                gap.last_value());
+    return 1;
+  }
   return 0;
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Tier-1 verification: full build + test suite, a bench smoke run against a
-# known optimum, the LP/MILP tests again under AddressSanitizer (the sparse
-# LU and eta-file code is pointer-heavy), and the concurrency tests (thread
-# pool, stop tokens, portfolio races) again under ThreadSanitizer.
+# known optimum, an observability smoke run (trace/metrics/search-log
+# formats validated by obs_check), the LP/MILP tests again under
+# AddressSanitizer (the sparse LU and eta-file code is pointer-heavy), and
+# the concurrency tests (thread pool, stop tokens, portfolio races, obs
+# emission) again under ThreadSanitizer.
 #
 #   scripts/check.sh            # from the repo root
 #
@@ -19,6 +21,22 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # and pass the contamination-free flow simulation.
 build/bench/table_4_1 --smoke
 
+# Observability smoke: a portfolio run with all three obs flags, then the
+# format validator (trace = Chrome trace JSON array, search log = JSONL,
+# metrics keys declared in scripts/metrics_schema.json).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+build/tools/mlsi_synth tests/data/demo_obs.json \
+    --engine portfolio --jobs 4 --quiet \
+    --trace-out "$obs_dir/trace.json" \
+    --metrics-out "$obs_dir/metrics.json" \
+    --search-log "$obs_dir/search.jsonl"
+build/tools/obs_check \
+    --trace "$obs_dir/trace.json" \
+    --search-log "$obs_dir/search.jsonl" \
+    --metrics "$obs_dir/metrics.json" \
+    --schema scripts/metrics_schema.json
+
 cmake -B build-asan -S . -DMLSI_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
     --target opt_simplex_test opt_milp_test
@@ -27,10 +45,16 @@ build-asan/tests/opt_milp_test
 
 cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target exec_test synth_portfolio_test mlsi_synth_cli
+    --target exec_test obs_test synth_portfolio_test mlsi_synth_cli
 build-tsan/tests/exec_test
+build-tsan/tests/obs_test
 build-tsan/tests/synth_portfolio_test
+# Obs enabled under TSan: per-thread trace buffers, metrics atomics and the
+# search-log mutex all get exercised by a real portfolio race.
 build-tsan/tools/mlsi_synth tests/data/demo_clockwise.json \
-    --engine portfolio --jobs 4 --quiet
+    --engine portfolio --jobs 4 --quiet \
+    --trace-out "$obs_dir/tsan_trace.json" \
+    --metrics-out "$obs_dir/tsan_metrics.json" \
+    --search-log "$obs_dir/tsan_search.jsonl"
 
-echo "check.sh: all green (tier-1 + bench smoke + ASan + TSan)"
+echo "check.sh: all green (tier-1 + bench smoke + obs + ASan + TSan)"

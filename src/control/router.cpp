@@ -1,5 +1,7 @@
 #include "control/router.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <functional>
 #include <cmath>
@@ -396,6 +398,7 @@ Result<ControlPlan> route_control(const arch::SwitchTopology& topo,
                                   const RouterOptions& options) {
   MLSI_ASSERT(options.cell_um > 0 && options.margin_um >= options.cell_um,
               "bad router options");
+  obs::TraceSpan span("control.route");
   Router router(topo, result, options);
   return router.run();
 }

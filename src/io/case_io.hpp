@@ -40,7 +40,9 @@ Status save_spec(const std::string& path, const synth::ProblemSpec& spec);
 /// Version of the machine-readable result schema emitted by
 /// result_to_json() (the "version" field). Bump on any breaking change to
 /// field names or meanings; the full schema is documented in README.md.
-inline constexpr int kResultSchemaVersion = 1;
+/// History: v1 original; v2 adds an optional "metrics" section (the
+/// obs::Metrics snapshot) when metrics collection is enabled for the run.
+inline constexpr int kResultSchemaVersion = 2;
 
 /// Serializes a synthesis result (for EXPERIMENTS.md-style records): the
 /// schedule, binding, per-flow paths by segment names, lengths, valves and

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file obs.hpp
+/// \brief Umbrella header for the observability layer (mlsi::obs).
+///
+/// Three independent, individually-enabled facilities:
+///  * trace.hpp      — thread-aware spans/instants, Chrome trace JSON
+///  * metrics.hpp    — counters, gauges, histograms, time-stamped series
+///  * search_log.hpp — JSONL stream of solver search events
+///
+/// All three are off by default and cost one relaxed atomic load per
+/// instrumentation site when off. They are enabled by mlsi_synth's
+/// --trace-out / --metrics-out / --search-log flags, by bench::init()
+/// (metrics only), or programmatically. See DESIGN.md "Observability" for
+/// the event taxonomy, metric names and overhead budget.
+
+#include "obs/metrics.hpp"
+#include "obs/search_log.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,77 @@
+#include "obs/search_log.hpp"
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mlsi::obs {
+
+namespace detail {
+std::atomic<bool> g_search_log_on{false};
+}  // namespace detail
+
+SearchLog& SearchLog::instance() {
+  static SearchLog log;
+  return log;
+}
+
+Status SearchLog::open(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  buffered_ = false;
+  lines_.clear();
+  if (file_ == nullptr) {
+    detail::g_search_log_on.store(false, std::memory_order_relaxed);
+    return Status::NotFound(cat("cannot open search log '", path, "'"));
+  }
+  detail::g_search_log_on.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void SearchLog::open_buffered() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+  buffered_ = true;
+  lines_.clear();
+  detail::g_search_log_on.store(true, std::memory_order_relaxed);
+}
+
+void SearchLog::close() {
+  std::lock_guard lock(mutex_);
+  detail::g_search_log_on.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  buffered_ = false;
+}
+
+void SearchLog::emit(std::string_view event,
+                     std::initializer_list<LogField> fields) {
+  json::Object obj;
+  obj["ev"] = json::Value{event};
+  obj["t"] = json::Value{static_cast<double>(support::monotonic_us()) / 1e6};
+  obj["tid"] = json::Value{support::thread_ordinal()};
+  for (const auto& [key, value] : fields) {
+    obj[std::string{key}] = value;
+  }
+  std::string line = json::Value{std::move(obj)}.dump();
+
+  std::lock_guard lock(mutex_);
+  if (buffered_) {
+    lines_.push_back(std::move(line));
+    return;
+  }
+  if (file_ != nullptr) {
+    line += '\n';
+    std::fputs(line.c_str(), file_);
+  }
+}
+
+std::vector<std::string> SearchLog::buffered_lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+}  // namespace mlsi::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "opt/presolve.hpp"
 #include "support/log.hpp"
 #include "support/status.hpp"
@@ -58,8 +59,12 @@ class BranchAndBound {
   int pick_branch_var(const std::vector<double>& x) const;
   void accept_incumbent(const std::vector<double>& x, double objective);
   /// Recursive DFS; returns false when a global limit tripped. Children
-  /// warm-start their LPs from \p parent_basis.
-  bool explore(const LpBasis* parent_basis);
+  /// warm-start their LPs from \p parent_basis. \p depth is the root-relative
+  /// tree depth (root = 0), recorded in the milp.node_depth histogram.
+  bool explore(const LpBasis* parent_basis, int depth);
+  /// Relative incumbent-vs-root-bound gap in [0, inf); 0 when proven.
+  [[nodiscard]] double current_gap() const;
+  void record_gap_series() const;
 
   Model model_;
   const MilpParams& params_;
@@ -69,6 +74,7 @@ class BranchAndBound {
   double obj_sign_ = 1.0;  // +1 minimize, -1 maximize (LP always minimizes)
 
   bool truncated_ = false;
+  bool have_root_bound_ = false;
   bool have_incumbent_ = false;
   double best_obj_min_ = kInf;  // in minimize convention
   std::vector<double> best_x_;
@@ -185,31 +191,91 @@ void BranchAndBound::accept_incumbent(const std::vector<double>& x,
       log_info("milp: incumbent ", obj_sign_ * best_obj_min_, " after ",
                stats_.nodes, " nodes");
     }
+    if (obs::search_log_enabled()) {
+      obs::search_event("incumbent",
+                        {{"engine", json::Value{"milp"}},
+                         {"obj", json::Value{obj_sign_ * best_obj_min_}},
+                         {"nodes", json::Value{stats_.nodes}},
+                         {"gap", json::Value{current_gap()}}});
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("milp.incumbents").add();
+      obs::metrics()
+          .series("search.incumbent")
+          .record(obj_sign_ * best_obj_min_);
+      record_gap_series();
+    }
   }
 }
 
-bool BranchAndBound::explore(const LpBasis* parent_basis) {
+double BranchAndBound::current_gap() const {
+  if (!have_incumbent_) return kInf;
+  if (!have_root_bound_) return kInf;
+  // Both in minimize convention; the DFS never tightens the global bound
+  // below the root relaxation, so the root bound is the honest denominator
+  // until the search completes (run() records the final 0).
+  const double bound_min = obj_sign_ * stats_.root_bound;
+  const double gap = best_obj_min_ - bound_min;
+  return std::max(0.0, gap / std::max(1.0, std::fabs(best_obj_min_)));
+}
+
+void BranchAndBound::record_gap_series() const {
+  obs::metrics().series("search.gap").record(current_gap());
+}
+
+bool BranchAndBound::explore(const LpBasis* parent_basis, int depth) {
   if (params_.deadline.expired() || params_.stop.stop_requested() ||
       stats_.nodes >= params_.max_nodes) {
     truncated_ = true;
     return false;
   }
   ++stats_.nodes;
+  const long node = stats_.nodes;
   if (params_.log && stats_.nodes % 1000 == 0) {
     log_info("milp: ", stats_.nodes, " nodes, ", stats_.lp_iterations,
              " LP iterations, incumbent ",
              have_incumbent_ ? obj_sign_ * best_obj_min_ : 0.0);
   }
+  if (obs::metrics_enabled()) {
+    static obs::Histogram& depth_hist = obs::metrics().histogram(
+        "milp.node_depth", {1, 2, 4, 8, 16, 24, 32, 48, 64, 96});
+    depth_hist.observe(static_cast<double>(depth));
+    obs::metrics().counter("milp.nodes").add();
+  }
 
   const LpResult lp = solve_relaxation(parent_basis);
-  if (lp.status == LpStatus::kInfeasible) return true;  // prune
+  // Per-node events are the verbose tail of the search log; every site
+  // guards explicitly so the field lists are never built when it is off.
+  if (obs::search_log_enabled()) {
+    obs::search_event(
+        "node", {{"node", json::Value{node}},
+                 {"depth", json::Value{depth}},
+                 {"warm", json::Value{lp.used_warm_start}},
+                 {"bound", lp.status == LpStatus::kOptimal
+                               ? json::Value{obj_sign_ * lp.objective}
+                               : json::Value{}}});
+  }
+  if (lp.status == LpStatus::kInfeasible) {
+    if (obs::search_log_enabled()) {
+      obs::search_event("prune", {{"node", json::Value{node}},
+                                  {"reason", json::Value{"infeasible"}}});
+    }
+    return true;  // prune
+  }
   if (lp.status == LpStatus::kIterLimit) {
     truncated_ = true;
     return false;
   }
-  if (stats_.nodes == 1) stats_.root_bound = obj_sign_ * lp.objective;
+  if (stats_.nodes == 1) {
+    stats_.root_bound = obj_sign_ * lp.objective;
+    have_root_bound_ = true;
+  }
 
   if (have_incumbent_ && lp.objective >= best_obj_min_ - params_.abs_gap) {
+    if (obs::search_log_enabled()) {
+      obs::search_event("prune", {{"node", json::Value{node}},
+                                  {"reason", json::Value{"bound"}}});
+    }
     return true;  // bound prune
   }
 
@@ -217,6 +283,13 @@ bool BranchAndBound::explore(const LpBasis* parent_basis) {
   if (j < 0) {
     accept_incumbent(lp.x, lp.objective);
     return true;
+  }
+  if (obs::search_log_enabled()) {
+    obs::search_event(
+        "branch",
+        {{"node", json::Value{node}},
+         {"var", json::Value{j}},
+         {"value", json::Value{lp.x[static_cast<std::size_t>(j)]}}});
   }
 
   const double v = lp.x[static_cast<std::size_t>(j)];
@@ -240,7 +313,7 @@ bool BranchAndBound::explore(const LpBasis* parent_basis) {
     // optimal basis is dual feasible for it: the revised simplex re-enters
     // through the dual method and typically needs only a few pivots.
     const bool child_feasible_bounds = lp_.lb[idx] <= lp_.ub[idx];
-    if (child_feasible_bounds && !explore(&lp.basis)) {
+    if (child_feasible_bounds && !explore(&lp.basis, depth + 1)) {
       lp_.lb[idx] = saved_lb;
       lp_.ub[idx] = saved_ub;
       return false;
@@ -254,7 +327,7 @@ bool BranchAndBound::explore(const LpBasis* parent_basis) {
 Solution BranchAndBound::run() {
   Timer timer;
   Solution out;
-  (void)explore(nullptr);
+  (void)explore(nullptr, 0);
   stats_.runtime_s = timer.seconds();
   out.stats = stats_;
   if (have_incumbent_) {
@@ -266,12 +339,26 @@ Solution BranchAndBound::run() {
   } else {
     out.status = truncated_ ? MilpStatus::kUnknown : MilpStatus::kInfeasible;
   }
+  // An exhausted tree is a proof: the gap timeline closes at exactly 0.
+  if (out.status == MilpStatus::kOptimal && obs::metrics_enabled()) {
+    obs::metrics().series("search.gap").record(0.0);
+  }
+  if (obs::search_log_enabled()) {
+    obs::search_event("milp_done",
+                      {{"status", json::Value{to_string(out.status)}},
+                       {"nodes", json::Value{stats_.nodes}},
+                       {"warm_starts", json::Value{stats_.warm_starts}},
+                       {"cold_starts", json::Value{stats_.cold_starts}},
+                       {"obj", out.has_solution() ? json::Value{out.objective}
+                                                  : json::Value{}}});
+  }
   return out;
 }
 
 }  // namespace
 
 Solution solve_milp(const Model& model, const MilpParams& params) {
+  obs::TraceSpan span("milp.solve");
   Model work = model;  // keep the caller's model untouched
   const int original_vars = model.num_vars();
   const int aux = linearize_products(work);
@@ -279,6 +366,7 @@ Solution solve_milp(const Model& model, const MilpParams& params) {
     log_info("milp: linearized ", aux, " binary products");
   }
   if (params.presolve) {
+    obs::TraceSpan presolve_span("milp.presolve");
     const PresolveStats ps = opt::presolve(work);
     if (params.log) {
       log_info("milp: presolve tightened ", ps.bound_tightenings,

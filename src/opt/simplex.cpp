@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "opt/basis_lu.hpp"
 #include "opt/simplex_dense.hpp"
 #include "opt/sparse.hpp"
@@ -135,6 +136,7 @@ class RevisedSimplex {
   long iters_ = 0;
   long phase1_iters_ = 0;
   long dual_iters_ = 0;
+  long degen_ = 0;  ///< pivots with a ~zero Harris step
   int pivots_since_refresh_ = 0;
   bool basis_repaired_ = false;
   bool used_warm_start_ = false;
@@ -465,6 +467,7 @@ void RevisedSimplex::apply_step(int j, double dir,
   }
   // Snap the leaving variable exactly onto its blocking bound, then swap it
   // for the entering column and append the product-form update.
+  if (t < 1e-12) ++degen_;
   const int r = block.leave_row;
   const int leaving = basis_[static_cast<std::size_t>(r)];
   val_[leaving] = block.leave_to;
@@ -819,16 +822,66 @@ LpResult RevisedSimplex::run() {
   out.phase1_iterations = phase1_iters_;
   out.dual_iterations = dual_iters_;
   out.factorizations = lu_.factorizations();
+  out.degenerate_steps = degen_;
   out.used_warm_start = used_warm_start_;
   return out;
 }
 
 }  // namespace
 
+namespace {
+
+/// Per-*solve* aggregates (never per-pivot — the overhead contract): call
+/// counts as counters, shape-of-the-solve as histograms. Instrument
+/// references are cached; the registry map probe happens once per process.
+void record_lp_metrics(const LpResult& result, std::int64_t elapsed_us) {
+  using obs::metrics;
+  static obs::Counter& solves = metrics().counter("lp.solves");
+  static obs::Counter& pivots = metrics().counter("lp.pivots");
+  static obs::Counter& degen = metrics().counter("lp.degenerate_steps");
+  static obs::Counter& factor = metrics().counter("lp.factorizations");
+  static obs::Counter& warm = metrics().counter("lp.warm_starts");
+  static obs::Histogram& pivot_time = metrics().histogram(
+      "lp.pivot_time_us", {0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000});
+  static obs::Histogram& refactor_interval = metrics().histogram(
+      "lp.refactor_interval", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  static obs::Histogram& degen_per_solve = metrics().histogram(
+      "lp.degenerate_steps_per_solve", {0, 1, 2, 5, 10, 25, 50, 100, 250});
+
+  solves.add();
+  pivots.add(result.iterations);
+  degen.add(result.degenerate_steps);
+  factor.add(result.factorizations);
+  if (result.used_warm_start) warm.add();
+  if (result.iterations > 0) {
+    pivot_time.observe(static_cast<double>(elapsed_us) /
+                       static_cast<double>(result.iterations));
+  }
+  if (result.factorizations > 0) {
+    refactor_interval.observe(static_cast<double>(result.iterations) /
+                              static_cast<double>(result.factorizations));
+  }
+  degen_per_solve.observe(static_cast<double>(result.degenerate_steps));
+}
+
+}  // namespace
+
 LpResult solve_lp(const LpProblem& lp, const LpParams& params) {
-  if (params.use_dense) return solve_lp_dense(lp, params);
-  RevisedSimplex solver(lp, params);
-  return solver.run();
+  if (!obs::metrics_enabled()) {
+    if (params.use_dense) return solve_lp_dense(lp, params);
+    RevisedSimplex solver(lp, params);
+    return solver.run();
+  }
+  const std::int64_t start_us = support::monotonic_us();
+  LpResult result;
+  if (params.use_dense) {
+    result = solve_lp_dense(lp, params);
+  } else {
+    RevisedSimplex solver(lp, params);
+    result = solver.run();
+  }
+  record_lp_metrics(result, support::monotonic_us() - start_us);
+  return result;
 }
 
 }  // namespace mlsi::opt

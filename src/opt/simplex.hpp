@@ -92,6 +92,9 @@ struct LpResult {
   long phase1_iterations = 0; ///< primal phase-1 share of `iterations`
   long dual_iterations = 0;   ///< dual-simplex share of `iterations`
   long factorizations = 0;    ///< basis (re)factorizations performed
+  /// Basis changes whose Harris ratio step was (numerically) zero — the
+  /// degeneracy measure fed to the obs::metrics histogram.
+  long degenerate_steps = 0;
   /// True when the caller's warm basis was adopted and the solve never had
   /// to cold-start from the slack basis.
   bool used_warm_start = false;

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <map>
 #include <queue>
@@ -99,6 +101,7 @@ WetRegion flood(const SwitchProgram& program, int set, int inlet_pin_vertex) {
 }
 
 ValidationReport validate(const SwitchProgram& program) {
+  obs::TraceSpan span("sim.validate");
   ValidationReport report;
   const arch::SwitchTopology& topo = *program.topo;
   const synth::ProblemSpec& spec = *program.spec;
@@ -320,6 +323,7 @@ HardeningOutcome harden(const arch::SwitchTopology& topo,
                         const synth::ProblemSpec& spec,
                         synth::SynthesisResult& result,
                         synth::PressureMode pressure_mode) {
+  obs::TraceSpan span("sim.harden");
   const auto install = [&](std::vector<int> valves) {
     const synth::ValveSchedule sched = synth::derive_valve_states(
         topo, result.routed, result.num_sets, std::move(valves));

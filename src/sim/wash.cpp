@@ -1,5 +1,7 @@
 #include "sim/wash.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -36,6 +38,7 @@ void merge_into(WetRegion& acc, const WetRegion& add) {
 }  // namespace
 
 WashPlan plan_washes(const SwitchProgram& program) {
+  obs::TraceSpan span("sim.plan_washes");
   const synth::ProblemSpec& spec = *program.spec;
   WashPlan plan;
 

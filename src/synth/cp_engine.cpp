@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -197,6 +198,17 @@ void CpSearch::record_incumbent() {
     if (params_.log) {
       log_info("cp: incumbent obj=", obj, " sets=", sets_used_,
                " L=", union_len_mm(), "mm after ", nodes_, " nodes");
+    }
+    if (obs::search_log_enabled()) {
+      obs::search_event("incumbent",
+                        {{"engine", json::Value{"cp"}},
+                         {"obj", json::Value{obj}},
+                         {"sets", json::Value{sets_used_}},
+                         {"nodes", json::Value{nodes_}}});
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("cp.incumbents").add();
+      obs::metrics().series("search.incumbent").record(obj);
     }
   }
 }
@@ -428,6 +440,7 @@ void CpSearch::enumerate_clockwise(std::vector<int>& pin_of_order,
 }
 
 Result<SynthesisResult> CpSearch::run() {
+  obs::TraceSpan span("cp.solve");
   Timer timer;
   prepare();
 
@@ -499,6 +512,25 @@ Result<SynthesisResult> CpSearch::run() {
   out.stats.runtime_s = timer.seconds();
   out.stats.nodes = nodes_;
   out.stats.proven_optimal = !truncated_;
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("cp.nodes").add(nodes_);
+    // A lone full-space search proves globally on exhaustion. A partition
+    // racer (stride > 1) or a racer pruning against a shared incumbent
+    // proves only its residue class — the portfolio records the combined
+    // proof instead.
+    const bool partitioned = spec_.policy == BindingPolicy::kClockwise &&
+                             std::max(1, params_.clockwise_stride) > 1;
+    if (out.stats.proven_optimal && !partitioned &&
+        params_.shared_incumbent == nullptr) {
+      obs::metrics().series("search.gap").record(0.0);
+    }
+  }
+  if (obs::search_log_enabled()) {
+    obs::search_event("cp_done",
+                      {{"proven", json::Value{out.stats.proven_optimal}},
+                       {"nodes", json::Value{nodes_}},
+                       {"obj", json::Value{out.objective}}});
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
@@ -448,14 +449,21 @@ Result<SynthesisResult> IqpBuilder::extract(const opt::Solution& sol,
 }
 
 Result<SynthesisResult> IqpBuilder::run() {
+  obs::TraceSpan span("iqp.solve");
   Timer timer;
   if (params_.deadline.expired() || params_.stop.stop_requested()) {
     return Status::Timeout(
         "IQP solve cancelled before the model was built");
   }
-  const Status collected = collect_candidates();
-  if (!collected.ok()) return collected;
-  build_model();
+  {
+    obs::TraceSpan collect_span("iqp.collect_candidates");
+    const Status collected = collect_candidates();
+    if (!collected.ok()) return collected;
+  }
+  {
+    obs::TraceSpan build_span("iqp.build_model");
+    build_model();
+  }
   if (params_.log) {
     log_info("iqp: model has ", model_.num_vars(), " vars, ",
              model_.num_constraints(), " constraints");

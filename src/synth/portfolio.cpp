@@ -6,6 +6,7 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/obs.hpp"
 #include "support/executor.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -45,6 +46,7 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
   const Status valid = spec.validate();
   if (!valid.ok()) return valid;
 
+  obs::TraceSpan span("portfolio.solve");
   Timer timer;
   const int jobs = support::ThreadPool::resolve_jobs(params.jobs);
   support::StopSource cancel;
@@ -91,11 +93,52 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
   {
     support::ThreadPool pool(
         std::min<int>(jobs, static_cast<int>(racers.size())));
+    // Start barrier: every worker must pick up a racer before any racer
+    // runs. Without it, a fast racer can drain the whole queue on one
+    // worker (the submit/wake race), which makes the "race" sequential —
+    // the shared-incumbent pruning and cancellation never engage, and on
+    // few-core hosts the outcome silently depends on scheduling luck.
+    // Each worker blocks at most once; queued racers beyond the pool size
+    // pass through after the barrier has opened.
+    std::mutex start_mutex;
+    std::condition_variable start_cv;
+    int awaiting = pool.size();
+    const auto start_barrier = [&] {
+      std::unique_lock lock(start_mutex);
+      if (--awaiting <= 0) {
+        start_cv.notify_all();
+        return;
+      }
+      start_cv.wait(lock, [&] { return awaiting <= 0; });
+    };
     for (std::size_t i = 0; i < racers.size(); ++i) {
       pool.submit([&, i] {
+        start_barrier();
         const Racer& racer = racers[i];
+        // The span runs on the worker thread, so the trace shows each
+        // racer's lifetime on its own track.
+        obs::TraceSpan racer_span(
+            obs::trace_enabled() ? cat("racer:", racer.label) : std::string{});
+        if (obs::search_log_enabled()) {
+          obs::search_event("racer_start",
+                            {{"racer", json::Value{racer.label}}});
+        }
         Result<SynthesisResult> outcome =
             racer.engine(topo, paths, spec, racer.params);
+        if (obs::search_log_enabled()) {
+          // A non-decisive outcome after the race-local stop tripped means
+          // this racer was cut short by a sibling's proof.
+          const bool cancelled =
+              racer.params.stop.stop_requested() && !decisive(outcome);
+          obs::search_event(
+              cancelled ? "racer_cancel" : "racer_finish",
+              {{"racer", json::Value{racer.label}},
+               {"ok", json::Value{outcome.ok()}},
+               {"proven", json::Value{outcome.ok() &&
+                                      outcome->stats.proven_optimal}},
+               {"obj", outcome.ok() ? json::Value{outcome->objective}
+                                    : json::Value{}}});
+        }
         std::unique_lock lock(mutex);
         if (params.log) {
           log_info("portfolio: ", racer.label, " finished: ",
@@ -190,6 +233,20 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
     out.stats.warm_starts = total_warm_starts;
     out.stats.cold_starts = total_cold_starts;
     out.stats.runtime_s = timer.seconds();
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("portfolio.races").add();
+      // Partition racers cannot close the gap individually (cp_engine.cpp
+      // defers to us); the combined proof is the authoritative 0.
+      if (proven) obs::metrics().series("search.gap").record(0.0);
+    }
+    if (obs::search_log_enabled()) {
+      obs::search_event(
+          "portfolio_done",
+          {{"winner", json::Value{racers[static_cast<std::size_t>(best)].label}},
+           {"proven", json::Value{proven}},
+           {"obj", json::Value{out.objective}},
+           {"racers", json::Value{racers.size()}}});
+    }
     return out;
   }
   if (proven_infeasible) {

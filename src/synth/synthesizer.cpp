@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/executor.hpp"
 #include "support/timer.hpp"
 #include "synth/valves.hpp"
@@ -15,6 +16,7 @@ Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
                     : (spec_.num_modules() <= 8   ? 2
                        : spec_.num_modules() <= 12 ? 3
                                                    : 4);
+  obs::TraceSpan span("synth.enumerate_paths");
   topo_ = std::make_unique<arch::SwitchTopology>(
       arch::make_crossbar(k, options_.geometry));
   paths_ = std::make_unique<arch::PathSet>(
@@ -22,6 +24,7 @@ Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
 }
 
 Result<SynthesisResult> Synthesizer::synthesize() const {
+  obs::TraceSpan span("synth.synthesize");
   Timer timer;
   const auto engine = engine_from_string(options_.engine);
   if (!engine.ok()) return engine.status();
@@ -34,33 +37,43 @@ Result<SynthesisResult> Synthesizer::synthesize() const {
 }
 
 void Synthesizer::apply_post_processing(SynthesisResult& result) const {
+  obs::TraceSpan span("synth.post_processing");
   result.used_segments = union_segments(result.routed);
   result.flow_length_mm = segments_length_mm(*topo_, result.used_segments);
   result.objective =
       spec_.alpha * result.num_sets + spec_.beta * result.flow_length_mm;
 
   // Essential-valve reduction.
-  switch (options_.reduction) {
-    case ValveReductionRule::kNone: {
-      result.essential_valves.clear();
-      for (const int s : result.used_segments) {
-        if (topo_->segment(s).has_valve) result.essential_valves.push_back(s);
+  {
+    obs::TraceSpan valve_span("synth.valve_reduction");
+    switch (options_.reduction) {
+      case ValveReductionRule::kNone: {
+        result.essential_valves.clear();
+        for (const int s : result.used_segments) {
+          if (topo_->segment(s).has_valve) {
+            result.essential_valves.push_back(s);
+          }
+        }
+        break;
       }
-      break;
+      case ValveReductionRule::kPaper:
+        result.essential_valves = essential_valves_paper(
+            *topo_, spec_, result.routed, result.used_segments);
+        break;
     }
-    case ValveReductionRule::kPaper:
-      result.essential_valves = essential_valves_paper(
-          *topo_, spec_, result.routed, result.used_segments);
-      break;
   }
 
   // Valve schedule over the kept valves.
-  const ValveSchedule sched = derive_valve_states(
-      *topo_, result.routed, result.num_sets, result.essential_valves);
-  result.essential_valves = sched.valve_segments;
-  result.valve_states = sched.states;
+  {
+    obs::TraceSpan schedule_span("synth.valve_schedule");
+    const ValveSchedule sched = derive_valve_states(
+        *topo_, result.routed, result.num_sets, result.essential_valves);
+    result.essential_valves = sched.valve_segments;
+    result.valve_states = sched.states;
+  }
 
   // Pressure sharing.
+  obs::TraceSpan pressure_span("synth.pressure");
   switch (options_.pressure) {
     case PressureMode::kOff: {
       result.pressure_group.resize(result.essential_valves.size());

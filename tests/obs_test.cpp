@@ -1,0 +1,309 @@
+// Tests for the observability layer: tracer span nesting and serialization,
+// metrics instruments (bucket edges in particular), search-log JSONL shape,
+// concurrent emission, and the allocation-free disabled path.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+#include "support/log.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: the disabled-path contract is "one relaxed
+// atomic load, no allocation", and DisabledPathDoesNotAllocate proves the
+// second half by replacing global new/delete for the whole test binary.
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mlsi::obs {
+namespace {
+
+/// The obs singletons are process-wide; every test leaves them disabled and
+/// empty so ordering between tests cannot matter.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clean(); }
+  void TearDown() override { clean(); }
+
+  static void clean() {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+    Metrics::instance().disable();
+    Metrics::instance().reset();
+    SearchLog::instance().close();
+  }
+};
+
+TEST_F(ObsTest, DisabledByDefaultAndTogglable) {
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(search_log_enabled());
+  Tracer::instance().enable();
+  Metrics::instance().enable();
+  SearchLog::instance().open_buffered();
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_TRUE(metrics_enabled());
+  EXPECT_TRUE(search_log_enabled());
+}
+
+TEST_F(ObsTest, SpanNestingIsReflectedInTimestamps) {
+  Tracer::instance().enable();
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      trace_instant("marker");
+    }
+  }
+  Tracer::instance().disable();
+  ASSERT_EQ(Tracer::instance().event_count(), 3u);
+
+  const auto doc = json::parse(Tracer::instance().to_json());
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  const json::Array& events = doc->as_array();
+  ASSERT_EQ(events.size(), 3u);
+
+  const json::Value* outer = nullptr;
+  const json::Value* inner = nullptr;
+  const json::Value* marker = nullptr;
+  for (const json::Value& ev : events) {
+    const std::string& name = ev.find("name")->as_string();
+    if (name == "outer") outer = &ev;
+    if (name == "inner") inner = &ev;
+    if (name == "marker") marker = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(marker, nullptr);
+
+  // Chrome trace-event essentials on every record.
+  for (const json::Value& ev : events) {
+    EXPECT_NE(ev.find("ph"), nullptr);
+    EXPECT_NE(ev.find("ts"), nullptr);
+    EXPECT_NE(ev.find("pid"), nullptr);
+    EXPECT_NE(ev.find("tid"), nullptr);
+    EXPECT_EQ(ev.find("cat")->as_string(), "mlsi");
+  }
+  EXPECT_EQ(outer->find("ph")->as_string(), "X");
+  EXPECT_EQ(marker->find("ph")->as_string(), "i");
+
+  // The inner span (and the instant) lie inside the outer span's interval.
+  const double outer_ts = outer->find("ts")->as_number();
+  const double outer_end = outer_ts + outer->find("dur")->as_number();
+  const double inner_ts = inner->find("ts")->as_number();
+  const double inner_end = inner_ts + inner->find("dur")->as_number();
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_GE(marker->find("ts")->as_number(), inner_ts);
+  EXPECT_LE(marker->find("ts")->as_number(), inner_end);
+}
+
+TEST_F(ObsTest, SpansNotRecordedWhileDisabled) {
+  { TraceSpan span("ignored"); }
+  trace_instant("also ignored");
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  // A span that *starts* while disabled stays unrecorded even if tracing
+  // turns on before it ends (start_us_ was never armed).
+  {
+    TraceSpan span("straddler");
+    Tracer::instance().enable();
+  }
+  Tracer::instance().disable();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgesAreUpperInclusive) {
+  Metrics::instance().enable();
+  Histogram& h = metrics().histogram("test.hist", {1.0, 2.0, 5.0});
+  // counts[i] holds v <= edges[i]; the last bucket is the +inf overflow.
+  h.observe(0.5);   // -> bucket 0
+  h.observe(1.0);   // boundary: still bucket 0
+  h.observe(1.001); // -> bucket 1
+  h.observe(2.0);   // boundary: bucket 1
+  h.observe(5.0);   // boundary: bucket 2
+  h.observe(5.1);   // overflow bucket
+  h.observe(1e9);   // overflow bucket
+  const std::vector<long> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.1 + 1e9, 1e-6);
+  // The edge list is fixed at first creation; a later lookup with different
+  // edges returns the same instrument.
+  Histogram& again = metrics().histogram("test.hist", {42.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.edges().size(), 3u);
+}
+
+TEST_F(ObsTest, MetricsSnapshotShape) {
+  Metrics::instance().enable();
+  metrics().counter("test.counter").add(3);
+  metrics().gauge("test.gauge").set(1.5);
+  // Not "test.hist": instruments never die, and the bucket-edges test
+  // already created that name with three edges.
+  metrics().histogram("test.snap_hist", {1.0}).observe(0.5);
+  metrics().series("test.series").record_at(0.25, 7.0);
+
+  const json::Value snap = Metrics::instance().snapshot();
+  EXPECT_EQ(snap.find("schema")->as_int(), 1);
+  EXPECT_EQ(snap.find("counters")->find("test.counter")->as_number(), 3.0);
+  EXPECT_EQ(snap.find("gauges")->find("test.gauge")->as_number(), 1.5);
+  const json::Value* hist = snap.find("histograms")->find("test.snap_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("edges")->as_array().size(), 1u);
+  EXPECT_EQ(hist->find("counts")->as_array().size(), 2u);
+  EXPECT_EQ(hist->find("count")->as_number(), 1.0);
+  const json::Value* series = snap.find("series")->find("test.series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->as_array().size(), 1u);
+  EXPECT_EQ(series->as_array()[0].as_array()[0].as_number(), 0.25);
+  EXPECT_EQ(series->as_array()[0].as_array()[1].as_number(), 7.0);
+
+  // reset() zeroes in place: cached references stay valid.
+  Counter& c = metrics().counter("test.counter");
+  Metrics::instance().reset();
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  EXPECT_EQ(metrics().counter("test.counter").value(), 1);
+}
+
+TEST_F(ObsTest, SeriesTracksLastValue) {
+  Series& s = metrics().series("test.timeline");
+  EXPECT_TRUE(s.empty());
+  s.record(4.0);
+  s.record(2.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.last_value(), 2.0);
+  ASSERT_EQ(s.points().size(), 2u);
+  EXPECT_LE(s.points()[0].first, s.points()[1].first);
+}
+
+TEST_F(ObsTest, SearchLogEmitsOneJsonObjectPerLine) {
+  SearchLog::instance().open_buffered();
+  search_event("incumbent", {{"obj", json::Value{12.5}}});
+  search_event("prune", {{"reason", json::Value{"bound"}}});
+  SearchLog::instance().close();
+  search_event("after_close", {});  // dropped: log is disabled
+
+  const auto lines = SearchLog::instance().buffered_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  const auto first = json::parse(lines[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->find("ev")->as_string(), "incumbent");
+  EXPECT_EQ(first->find("obj")->as_number(), 12.5);
+  EXPECT_NE(first->find("t"), nullptr);
+  EXPECT_NE(first->find("tid"), nullptr);
+  const auto second = json::parse(lines[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->find("ev")->as_string(), "prune");
+  EXPECT_EQ(second->find("reason")->as_string(), "bound");
+}
+
+TEST_F(ObsTest, ConcurrentEmissionKeepsEveryEvent) {
+  // Raw threads (not the pool) so each emitter is guaranteed to be a
+  // distinct thread with its own ordinal and trace buffer. Run under
+  // -DMLSI_SANITIZE=thread in scripts/check.sh.
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 200;
+  Tracer::instance().enable();
+  Metrics::instance().enable();
+  SearchLog::instance().open_buffered();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TraceSpan span("worker.event");
+        metrics().counter("test.concurrent").add();
+        metrics().histogram("test.concurrent_hist", {10.0, 100.0})
+            .observe(static_cast<double>(i));
+        if (i % 50 == 0) {
+          search_event("tick", {{"i", json::Value{i}}});
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::instance().disable();
+
+  EXPECT_EQ(Tracer::instance().event_count(),
+            static_cast<std::size_t>(kThreads * kEventsPerThread));
+  EXPECT_GE(Tracer::instance().distinct_threads(), 2);
+  EXPECT_EQ(metrics().counter("test.concurrent").value(),
+            kThreads * kEventsPerThread);
+  EXPECT_EQ(metrics().histogram("test.concurrent_hist", {}).count(),
+            kThreads * kEventsPerThread);
+  EXPECT_EQ(SearchLog::instance().buffered_lines().size(),
+            static_cast<std::size_t>(kThreads * (kEventsPerThread / 50)));
+
+  // The merged trace must still be valid JSON with per-thread tids.
+  const auto doc = json::parse(Tracer::instance().to_json());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_array().size(),
+            static_cast<std::size_t>(kThreads * kEventsPerThread));
+}
+
+TEST_F(ObsTest, TracerSurvivesEmitterThreadExit) {
+  Tracer::instance().enable();
+  std::thread emitter([] { TraceSpan span("short.lived"); });
+  emitter.join();
+  Tracer::instance().disable();
+  // The emitting thread is gone; its buffer (shared with the registry)
+  // still holds the event — this is what lets the CLI write the trace
+  // after the portfolio pool joined.
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+  EXPECT_NE(Tracer::instance().to_json().find("short.lived"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledPathDoesNotAllocate) {
+  // Warm up thread-locals and the lazy monotonic epoch first.
+  support::thread_ordinal();
+  support::monotonic_us();
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("hot.site");
+    trace_instant("hot.marker");
+    if (metrics_enabled()) {
+      metrics().counter("never").add();
+    }
+    if (search_log_enabled()) {
+      search_event("never", {{"x", json::Value{1}}});
+    }
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "disabled obs sites must not allocate";
+}
+
+}  // namespace
+}  // namespace mlsi::obs

@@ -1,11 +1,16 @@
-// Unit tests for mlsi::support: Status/Result, strings, RNG, JSON.
+// Unit tests for mlsi::support: Status/Result, strings, RNG, JSON, logger.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/strings.hpp"
@@ -251,6 +256,90 @@ TEST(JsonTest, TypeMismatchAsserts) {
   EXPECT_THROW((void)v.as_string(), AssertionError);
   EXPECT_THROW((void)json::Value{"s"}.as_number(), AssertionError);
   EXPECT_THROW((void)json::Value{2.5}.as_int(), AssertionError);
+}
+
+// --- logger ---------------------------------------------------------------
+
+/// Installs a capturing sink + permissive level for one test, restoring the
+/// defaults (stderr writer, kWarn, text format) on scope exit.
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, std::string_view line) {
+      levels.push_back(level);
+      lines.emplace_back(line);
+    });
+  }
+  ~LogCapture() {
+    set_log_sink({});
+    set_log_format(LogFormat::kText);
+    set_log_level(LogLevel::kWarn);
+  }
+
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+TEST(LogTest, SinkCapturesFormattedLines) {
+  LogCapture capture;
+  log_info("hello ", 42);
+  log_warn("watch out");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.levels[0], LogLevel::kInfo);
+  EXPECT_EQ(capture.levels[1], LogLevel::kWarn);
+  // Text format: "[mlsi INFO  +<t>s t<tid>] msg".
+  EXPECT_NE(capture.lines[0].find("INFO"), std::string::npos);
+  EXPECT_NE(capture.lines[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(capture.lines[0].find("t" + std::to_string(
+                                            support::thread_ordinal())),
+            std::string::npos);
+  EXPECT_EQ(capture.lines[0].back(), '2') << "no trailing newline in sink";
+}
+
+TEST(LogTest, LevelThresholdFilters) {
+  LogCapture capture;
+  set_log_level(LogLevel::kError);
+  log_debug("nope");
+  log_info("nope");
+  log_warn("nope");
+  log_error("yes");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.levels[0], LogLevel::kError);
+}
+
+TEST(LogTest, JsonlLinesParse) {
+  LogCapture capture;
+  set_log_format(LogFormat::kJsonl);
+  log_info("quoted \"msg\" with\nnewline");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const auto doc = json::parse(capture.lines[0]);
+  ASSERT_TRUE(doc.ok()) << capture.lines[0];
+  EXPECT_EQ(doc->get_string("level", ""), "info");
+  EXPECT_EQ(doc->get_string("msg", ""), "quoted \"msg\" with\nnewline");
+  EXPECT_EQ(doc->get_int("tid", -1), support::thread_ordinal());
+  EXPECT_GE(doc->get_number("t", -1.0), 0.0);
+}
+
+TEST(LogTest, ThreadOrdinalsAreStableAndDistinct) {
+  const int mine = support::thread_ordinal();
+  EXPECT_EQ(support::thread_ordinal(), mine);  // stable within a thread
+  int other1 = -1;
+  int other2 = -1;
+  std::thread a([&] { other1 = support::thread_ordinal(); });
+  std::thread b([&] { other2 = support::thread_ordinal(); });
+  a.join();
+  b.join();
+  EXPECT_NE(other1, mine);
+  EXPECT_NE(other2, mine);
+  EXPECT_NE(other1, other2);
+}
+
+TEST(LogTest, MonotonicTimestampsDoNotGoBackwards) {
+  const auto t0 = support::monotonic_us();
+  EXPECT_GE(t0, 0);
+  const auto t1 = support::monotonic_us();
+  EXPECT_GE(t1, t0);
 }
 
 }  // namespace

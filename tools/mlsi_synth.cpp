@@ -18,6 +18,14 @@
 //                                      carries a "version" field)
 //   --export-lp <path>                 write the paper's IQP model in CPLEX
 //                                      LP format (for Gurobi/SCIP/HiGHS)
+//   --trace-out <path>                 record a Chrome trace-event JSON of
+//                                      the run (open in Perfetto /
+//                                      chrome://tracing)
+//   --metrics-out <path>               write the metrics registry snapshot
+//                                      (counters/histograms/series) as JSON
+//   --search-log <path>                stream solver search events (node,
+//                                      prune, branch, incumbent, racer
+//                                      lifecycle) as JSONL
 //   --quiet                            suppress the human-readable report
 //
 // Exit codes: 0 success (validated), 2 infeasible, 3 budget exhausted,
@@ -28,6 +36,7 @@
 
 #include "control/router.hpp"
 #include "io/case_io.hpp"
+#include "obs/obs.hpp"
 #include "io/report.hpp"
 #include "io/svg.hpp"
 #include "opt/lp_format.hpp"
@@ -47,7 +56,8 @@ int usage(const char* argv0) {
       "usage: %s <case.json> [--policy fixed|clockwise|unfixed]\n"
       "       [--engine cp|iqp|portfolio] [--jobs N] [--time-limit S]\n"
       "       [--pressure off|greedy|ilp] [--no-reduction] [--svg F]\n"
-      "       [--control F] [--json F] [--export-lp F] [--quiet]\n",
+      "       [--control F] [--json F] [--export-lp F] [--trace-out F]\n"
+      "       [--metrics-out F] [--search-log F] [--quiet]\n",
       argv0);
   return 1;
 }
@@ -60,6 +70,9 @@ struct ToolOptions {
   std::string control_path;
   std::string json_path;
   std::string lp_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string search_log_path;
   bool quiet = false;
 };
 
@@ -96,12 +109,50 @@ Status parse_options(support::ArgParser& args, synth::SynthesisOptions& synth,
   tool.control_path = args.option("--control").value_or("");
   tool.json_path = args.option("--json").value_or("");
   tool.lp_path = args.option("--export-lp").value_or("");
+  tool.trace_path = args.option("--trace-out").value_or("");
+  tool.metrics_path = args.option("--metrics-out").value_or("");
+  tool.search_log_path = args.option("--search-log").value_or("");
   tool.quiet = args.flag("--quiet");
   const Status parsed = args.finish(1);
   if (!parsed.ok()) return parsed;
   tool.case_path = args.positionals().front();
   return Status::Ok();
 }
+
+/// Turns on the requested observability outputs for the whole run and
+/// flushes them on every exit path (including the early error returns).
+struct ObsSession {
+  std::string trace_path;
+  std::string metrics_path;
+
+  explicit ObsSession(const ToolOptions& tool)
+      : trace_path(tool.trace_path), metrics_path(tool.metrics_path) {
+    if (!trace_path.empty()) obs::Tracer::instance().enable();
+    if (!metrics_path.empty()) obs::Metrics::instance().enable();
+    if (!tool.search_log_path.empty()) {
+      const Status s = obs::SearchLog::instance().open(tool.search_log_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "search-log: %s\n", s.to_string().c_str());
+      }
+    }
+  }
+
+  ~ObsSession() {
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().disable();
+      const Status s = obs::Tracer::instance().write(trace_path);
+      if (!s.ok()) std::fprintf(stderr, "trace: %s\n", s.to_string().c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::Metrics::instance().disable();
+      const Status s = obs::Metrics::instance().write(metrics_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "metrics: %s\n", s.to_string().c_str());
+      }
+    }
+    obs::SearchLog::instance().close();
+  }
+};
 
 }  // namespace
 
@@ -114,6 +165,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", parsed.to_string().c_str());
     return usage(argv[0]);
   }
+  ObsSession obs_session(tool);
 
   auto spec = io::load_spec(tool.case_path);
   if (!spec.ok()) {

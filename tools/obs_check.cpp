@@ -1,0 +1,296 @@
+/// \file obs_check.cpp
+/// \brief Validator for the observability artifacts mlsi_synth writes.
+///
+/// Usage:
+///   obs_check --trace FILE       Chrome trace-event JSON array
+///   obs_check --search-log FILE  JSONL search log
+///   obs_check --metrics FILE --schema scripts/metrics_schema.json
+///
+/// Any combination of the three checks may be requested in one invocation;
+/// exit status is 0 only when every requested check passes. scripts/check.sh
+/// and the cli_obs_validates ctest case run this against a fresh mlsi_synth
+/// run, so drift between the emitters and the documented formats fails CI
+/// instead of surfacing in a Perfetto import error months later.
+///
+/// Checks, per artifact:
+///  - trace: parses as a JSON array; every event carries name/cat/ph/ts/
+///    pid/tid with the right types; ph is "X" (with a non-negative dur) or
+///    "i"; at least one event is present.
+///  - search log: every line parses as a JSON object carrying "ev" (string),
+///    "t" (number) and "tid" (integer).
+///  - metrics: parses as an object whose "schema" matches the checked-in
+///    schema's version and whose counter/gauge/histogram/series names are
+///    all declared there (unknown names mean the schema file was not
+///    updated with the new instrument); histograms must have coherent
+///    edges/counts arrays (counts.size == edges.size + 1).
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using mlsi::json::Value;
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "obs_check: FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail("cannot open " + path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool is_integral_number(const Value& v) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  return d == static_cast<double>(static_cast<long long>(d));
+}
+
+// --- trace ----------------------------------------------------------------
+
+void check_trace(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) return;
+  const auto doc = mlsi::json::parse(text);
+  if (!doc.ok()) {
+    fail("trace " + path + ": " + doc.status().to_string());
+    return;
+  }
+  if (!doc->is_array()) {
+    fail("trace " + path + ": top-level value is not a JSON array");
+    return;
+  }
+  const auto& events = doc->as_array();
+  if (events.empty()) {
+    fail("trace " + path + ": no events recorded");
+    return;
+  }
+  std::set<int> tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Value& ev = events[i];
+    const std::string where = "trace " + path + " event " + std::to_string(i);
+    if (!ev.is_object()) {
+      fail(where + ": not a JSON object");
+      continue;
+    }
+    const Value* name = ev.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      fail(where + ": missing or empty \"name\"");
+    }
+    const Value* cat = ev.find("cat");
+    if (cat == nullptr || !cat->is_string()) {
+      fail(where + ": missing \"cat\"");
+    }
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      fail(where + ": missing \"ph\"");
+    } else if (ph->as_string() == "X") {
+      const Value* dur = ev.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->as_number() < 0) {
+        fail(where + ": complete event without a non-negative \"dur\"");
+      }
+    } else if (ph->as_string() != "i") {
+      fail(where + ": unexpected phase \"" + ph->as_string() + "\"");
+    }
+    const Value* ts = ev.find("ts");
+    if (ts == nullptr || !ts->is_number() || ts->as_number() < 0) {
+      fail(where + ": missing or negative \"ts\"");
+    }
+    const Value* pid = ev.find("pid");
+    if (pid == nullptr || !is_integral_number(*pid)) {
+      fail(where + ": missing integer \"pid\"");
+    }
+    const Value* tid = ev.find("tid");
+    if (tid == nullptr || !is_integral_number(*tid)) {
+      fail(where + ": missing integer \"tid\"");
+    } else {
+      tids.insert(tid->as_int());
+    }
+  }
+  std::fprintf(stderr, "obs_check: trace %s: %zu events across %zu threads\n",
+               path.c_str(), events.size(), tids.size());
+}
+
+// --- search log -----------------------------------------------------------
+
+void check_search_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail("cannot open " + path);
+    return;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where =
+        "search log " + path + " line " + std::to_string(lineno);
+    const auto doc = mlsi::json::parse(line);
+    if (!doc.ok()) {
+      fail(where + ": " + doc.status().to_string());
+      continue;
+    }
+    if (!doc->is_object()) {
+      fail(where + ": not a JSON object");
+      continue;
+    }
+    const Value* ev = doc->find("ev");
+    if (ev == nullptr || !ev->is_string() || ev->as_string().empty()) {
+      fail(where + ": missing \"ev\"");
+    }
+    const Value* t = doc->find("t");
+    if (t == nullptr || !t->is_number() || t->as_number() < 0) {
+      fail(where + ": missing or negative \"t\"");
+    }
+    const Value* tid = doc->find("tid");
+    if (tid == nullptr || !is_integral_number(*tid)) {
+      fail(where + ": missing integer \"tid\"");
+    }
+    ++records;
+  }
+  if (records == 0) {
+    fail("search log " + path + ": no records");
+    return;
+  }
+  std::fprintf(stderr, "obs_check: search log %s: %zu records\n", path.c_str(),
+               records);
+}
+
+// --- metrics --------------------------------------------------------------
+
+std::set<std::string> schema_names(const Value& schema, const char* section) {
+  std::set<std::string> names;
+  if (const Value* arr = schema.find(section);
+      arr != nullptr && arr->is_array()) {
+    for (const Value& v : arr->as_array()) {
+      if (v.is_string()) names.insert(v.as_string());
+    }
+  }
+  return names;
+}
+
+void check_metrics(const std::string& path, const std::string& schema_path) {
+  std::string text;
+  std::string schema_text;
+  if (!read_file(path, text) || !read_file(schema_path, schema_text)) return;
+  const auto doc = mlsi::json::parse(text);
+  if (!doc.ok()) {
+    fail("metrics " + path + ": " + doc.status().to_string());
+    return;
+  }
+  const auto schema = mlsi::json::parse(schema_text);
+  if (!schema.ok()) {
+    fail("schema " + schema_path + ": " + schema.status().to_string());
+    return;
+  }
+  if (!doc->is_object()) {
+    fail("metrics " + path + ": top-level value is not a JSON object");
+    return;
+  }
+  const Value* version = doc->find("schema");
+  const Value* expected = schema->find("schema");
+  if (version == nullptr || expected == nullptr ||
+      !is_integral_number(*version) ||
+      version->as_int() != expected->as_int()) {
+    fail("metrics " + path + ": \"schema\" does not match " + schema_path);
+  }
+  std::size_t instruments = 0;
+  for (const char* section : {"counters", "gauges", "histograms", "series"}) {
+    const std::set<std::string> known = schema_names(*schema, section);
+    const Value* sec = doc->find(section);
+    if (sec == nullptr || !sec->is_object()) {
+      fail("metrics " + path + ": missing \"" + section + "\" object");
+      continue;
+    }
+    for (const auto& [name, value] : sec->as_object()) {
+      ++instruments;
+      if (known.count(name) == 0) {
+        fail("metrics " + path + ": " + section + " \"" + name +
+             "\" not declared in " + schema_path +
+             " (new instrument? add it to the schema)");
+      }
+      if (std::string_view{section} == "histograms") {
+        const Value* edges = value.find("edges");
+        const Value* counts = value.find("counts");
+        if (edges == nullptr || counts == nullptr || !edges->is_array() ||
+            !counts->is_array() ||
+            counts->as_array().size() != edges->as_array().size() + 1) {
+          fail("metrics " + path + ": histogram \"" + name +
+               "\" needs counts.size == edges.size + 1");
+        }
+      }
+    }
+  }
+  std::fprintf(stderr, "obs_check: metrics %s: %zu instruments\n",
+               path.c_str(), instruments);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: obs_check [--trace FILE] [--search-log FILE]\n"
+      "                 [--metrics FILE --schema SCHEMA]\n"
+      "Validates mlsi_synth observability outputs; exits non-zero on any\n"
+      "format violation.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string search_log_path;
+  std::string metrics_path;
+  std::string schema_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace") {
+      if (const char* v = next()) trace_path = v; else return usage();
+    } else if (arg == "--search-log") {
+      if (const char* v = next()) search_log_path = v; else return usage();
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) metrics_path = v; else return usage();
+    } else if (arg == "--schema") {
+      if (const char* v = next()) schema_path = v; else return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty() && search_log_path.empty() && metrics_path.empty()) {
+    return usage();
+  }
+  if (!metrics_path.empty() && schema_path.empty()) {
+    std::fprintf(stderr, "obs_check: --metrics requires --schema\n");
+    return 2;
+  }
+  if (!trace_path.empty()) check_trace(trace_path);
+  if (!search_log_path.empty()) check_search_log(search_log_path);
+  if (!metrics_path.empty()) check_metrics(metrics_path, schema_path);
+  if (g_failures > 0) {
+    std::fprintf(stderr, "obs_check: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "obs_check: OK\n");
+  return 0;
+}
