@@ -144,6 +144,12 @@ inline RunOutcome run_case(const synth::ProblemSpec& spec,
         json::Value{static_cast<double>(r.stats.warm_starts)};
     rec["lp_cold_starts"] =
         json::Value{static_cast<double>(r.stats.cold_starts)};
+    rec["cuts_generated"] =
+        json::Value{static_cast<double>(r.stats.cuts_generated)};
+    rec["cuts_applied"] =
+        json::Value{static_cast<double>(r.stats.cuts_applied)};
+    rec["cuts_dropped"] =
+        json::Value{static_cast<double>(r.stats.cuts_dropped)};
     rec["contamination_free"] = json::Value{out.hardening.report.ok()};
   } else {
     rec["error"] = json::Value{out.result.status().to_string()};

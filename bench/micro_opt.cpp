@@ -2,8 +2,18 @@
 // synthesis hot paths: LP solves, MILP branch & bound, path enumeration,
 // and end-to-end CP synthesis. These guard against performance regressions
 // in the pieces every table/figure bench leans on.
+//
+// `micro_opt --smoke` skips the timed benchmarks and instead runs the
+// perf-regression gate wired into scripts/check.sh: devex pricing must
+// match Dantzig objectives on the 400-column suite while spending at most
+// 80% of its pivots, and the parallel branch & bound must prove the same
+// knapsack optimum at jobs 1, 2 and 8.
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
 
 #include "arch/crossbar.hpp"
 #include "arch/paths.hpp"
@@ -66,6 +76,68 @@ void BM_SimplexRandomLpDense(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexRandomLpDense)->Arg(20)->Arg(60)->Arg(150)->Arg(400);
+
+// Head-to-head pricing-rule comparison on the same instance; the per-solve
+// pivot count is exported as a counter so `--benchmark_format=json` runs
+// capture the iteration reduction, not just wall time.
+void BM_SimplexPricing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lp = random_lp(n, n / 2, 42);
+  opt::LpParams params;
+  params.pricing = static_cast<opt::LpPricing>(state.range(1));
+  long iters = 0;
+  for (auto _ : state) {
+    const auto res = opt::solve_lp(lp, params);
+    iters = res.iterations;
+    benchmark::DoNotOptimize(res.objective);
+  }
+  state.counters["pivots"] = static_cast<double>(iters);
+}
+BENCHMARK(BM_SimplexPricing)
+    ->ArgsProduct({{150, 400}, {0, 1, 2}})
+    ->ArgNames({"n", "rule"});  // rule: 0 dantzig, 1 devex, 2 steepest-edge
+
+// Hard correlated knapsack: value ~ weight + noise keeps the LP bound weak,
+// so the tree is deep enough for the parallel search to matter.
+opt::Model correlated_knapsack(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  opt::Model model;
+  opt::LinExpr weight;
+  opt::LinExpr value;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const opt::Var x = model.add_binary("x");
+    const double w = 1.0 + rng.next_double() * 9;
+    weight.add(x, w);
+    value.add(x, w + rng.next_double() - 0.5);
+    total += w;
+  }
+  model.add_constraint(weight, opt::Sense::kLe, 0.5 * total);
+  model.set_objective(value, /*minimize=*/false);
+  return model;
+}
+
+// Parallel branch & bound node throughput: same proven optimum at every
+// jobs count, wall clock and nodes/s are what move.
+void BM_MilpParallel(benchmark::State& state) {
+  const auto model = correlated_knapsack(30, 99);
+  opt::MilpParams params;
+  params.jobs = static_cast<int>(state.range(0));
+  long nodes = 0;
+  for (auto _ : state) {
+    const auto sol = opt::solve_milp(model, params);
+    nodes += sol.stats.nodes;
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["nodes_per_s"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MilpParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -133,14 +205,24 @@ void BM_PressureIlp(benchmark::State& state) {
   const auto compat = random_compat(n, 11);
   opt::MilpParams params;
   params.lp.use_dense = state.range(1) != 0;
+  params.cut_rounds = static_cast<int>(state.range(2));
+  long nodes = 0;
+  double precut = 0.0;
+  double postcut = 0.0;
   for (auto _ : state) {
     const auto groups = synth::pressure_groups_ilp(compat, params);
+    nodes = groups.milp_stats.nodes;
+    precut = groups.milp_stats.root_bound_precut;
+    postcut = groups.milp_stats.root_bound;
     benchmark::DoNotOptimize(groups.num_groups);
   }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["root_precut"] = precut;
+  state.counters["root_postcut"] = postcut;
 }
 BENCHMARK(BM_PressureIlp)
-    ->ArgsProduct({{8, 10, 12}, {0, 1}})
-    ->ArgNames({"valves", "dense"});
+    ->ArgsProduct({{8, 10, 12}, {0, 1}, {0, 3}})
+    ->ArgNames({"valves", "dense", "cuts"});
 
 void BM_EnumeratePaths(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -170,6 +252,86 @@ void BM_SynthesizeTable42Clockwise(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeTable42Clockwise)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Perf smoke gate (scripts/check.sh). Returns 0 iff every check holds.
+
+bool smoke_fail(const char* what) {
+  std::fprintf(stderr, "micro_opt --smoke FAILED: %s\n", what);
+  return false;
+}
+
+// Devex must reproduce Dantzig's objectives on the 400-column suite while
+// cutting the pivot count by at least 20% in aggregate (the measured
+// reduction is ~35–45%; 20% leaves headroom for instance noise while still
+// catching a broken weight update, which regresses to ~0%).
+bool smoke_pricing() {
+  long dantzig = 0;
+  long devex = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto lp = random_lp(400, 200, seed);
+    opt::LpParams pd;
+    pd.pricing = opt::LpPricing::kDantzig;
+    const auto rd = opt::solve_lp(lp, pd);
+    opt::LpParams pv;
+    pv.pricing = opt::LpPricing::kDevex;
+    const auto rv = opt::solve_lp(lp, pv);
+    if (rd.status != rv.status) return smoke_fail("pricing status mismatch");
+    if (rd.status == opt::LpStatus::kOptimal &&
+        std::fabs(rd.objective - rv.objective) >
+            1e-6 * (1.0 + std::fabs(rd.objective))) {
+      return smoke_fail("devex objective diverges from dantzig");
+    }
+    dantzig += rd.iterations;
+    devex += rv.iterations;
+  }
+  std::printf("smoke pricing: dantzig %ld pivots, devex %ld pivots (%.1f%%)\n",
+              dantzig, devex, 100.0 * devex / dantzig);
+  if (devex > static_cast<long>(0.8 * static_cast<double>(dantzig))) {
+    return smoke_fail("devex pivot budget regressed (> 80% of dantzig)");
+  }
+  return true;
+}
+
+// The parallel tree search must prove the identical optimum at every jobs
+// count — parallelism may reorder the search, never change the answer.
+bool smoke_parallel() {
+  const auto model = correlated_knapsack(26, 5);
+  double reference = 0.0;
+  for (const int jobs : {1, 2, 8}) {
+    opt::MilpParams params;
+    params.jobs = jobs;
+    const auto sol = opt::solve_milp(model, params);
+    if (sol.status != opt::MilpStatus::kOptimal) {
+      return smoke_fail("parallel B&B failed to prove optimality");
+    }
+    if (jobs == 1) {
+      reference = sol.objective;
+    } else if (std::fabs(sol.objective - reference) > 1e-6) {
+      return smoke_fail("parallel B&B optimum differs across jobs counts");
+    }
+    std::printf("smoke parallel: jobs=%d objective=%.6f nodes=%ld\n", jobs,
+                sol.objective, sol.stats.nodes);
+  }
+  return true;
+}
+
+int run_smoke() {
+  const bool pricing_ok = smoke_pricing();
+  const bool parallel_ok = smoke_parallel();
+  const bool ok = pricing_ok && parallel_ok;
+  std::printf("micro_opt --smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--smoke") return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

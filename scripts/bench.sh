@@ -35,3 +35,9 @@ for f in bench_out/BENCH_*.json; do
     count=$(grep -c '"case"' "$f" || true)
     echo "${f}: ${count} records"
 done
+
+# Fold every BENCH_*.json into the committed top-level summary (per-bench
+# wall time + key solver metrics, keyed by git SHA) so perf shifts between
+# commits show up in `git diff BENCH_summary.json`.
+cmake --build build -j "$(nproc)" --target bench_summary >/dev/null
+build/tools/bench_summary --dir bench_out --out BENCH_summary.json

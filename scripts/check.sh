@@ -21,6 +21,12 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 # and pass the contamination-free flow simulation.
 build/bench/table_4_1 --smoke
 
+# Perf smoke: devex pricing must keep its pivot-count edge over Dantzig on
+# the 400-column suite (same objectives, <= 80% of the pivots), and the
+# parallel branch & bound must prove the identical optimum at jobs 1/2/8.
+cmake --build build -j "$(nproc)" --target micro_opt
+build/bench/micro_opt --smoke
+
 # Observability smoke: a portfolio run with all three obs flags, then the
 # format validator (trace = Chrome trace JSON array, search log = JSONL,
 # metrics keys declared in scripts/metrics_schema.json).
@@ -39,15 +45,20 @@ build/tools/obs_check \
 
 cmake -B build-asan -S . -DMLSI_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
-    --target opt_simplex_test opt_milp_test
+    --target opt_simplex_test opt_cuts_test opt_milp_test
 build-asan/tests/opt_simplex_test
+build-asan/tests/opt_cuts_test
 build-asan/tests/opt_milp_test
 
 cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target exec_test obs_test synth_portfolio_test mlsi_synth_cli
+    --target exec_test obs_test opt_milp_test synth_portfolio_test \
+    mlsi_synth_cli
 build-tsan/tests/exec_test
 build-tsan/tests/obs_test
+# Parallel branch & bound: shared incumbent, node counter and frontier under
+# real contention (determinism + stop-token unwind tests included).
+build-tsan/tests/opt_milp_test --gtest_filter='MilpTest.Parallel*'
 build-tsan/tests/synth_portfolio_test
 # Obs enabled under TSan: per-thread trace buffers, metrics atomics and the
 # search-log mutex all get exercised by a real portfolio race.

@@ -171,6 +171,10 @@ Value result_to_json(const arch::SwitchTopology& topo,
       Value{static_cast<double>(result.stats.lp_factorizations)};
   obj["lp_warm_starts"] = Value{static_cast<double>(result.stats.warm_starts)};
   obj["lp_cold_starts"] = Value{static_cast<double>(result.stats.cold_starts)};
+  obj["cuts_generated"] =
+      Value{static_cast<double>(result.stats.cuts_generated)};
+  obj["cuts_applied"] = Value{static_cast<double>(result.stats.cuts_applied)};
+  obj["cuts_dropped"] = Value{static_cast<double>(result.stats.cuts_dropped)};
 
   Object binding;
   for (int m = 0; m < spec.num_modules(); ++m) {

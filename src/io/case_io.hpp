@@ -41,8 +41,11 @@ Status save_spec(const std::string& path, const synth::ProblemSpec& spec);
 /// result_to_json() (the "version" field). Bump on any breaking change to
 /// field names or meanings; the full schema is documented in README.md.
 /// History: v1 original; v2 adds an optional "metrics" section (the
-/// obs::Metrics snapshot) when metrics collection is enabled for the run.
-inline constexpr int kResultSchemaVersion = 2;
+/// obs::Metrics snapshot) when metrics collection is enabled for the run;
+/// v3 adds the MILP cutting-plane counters "cuts_generated",
+/// "cuts_applied" and "cuts_dropped" (additive — v2 consumers that ignore
+/// unknown keys keep working).
+inline constexpr int kResultSchemaVersion = 3;
 
 /// Serializes a synthesis result (for EXPERIMENTS.md-style records): the
 /// schedule, binding, per-flow paths by segment names, lengths, valves and

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file cuts.hpp
+/// \brief Gomory mixed-integer (GMI) cuts from an LU-factored simplex basis.
+///
+/// generate_gomory_cuts() reads the optimal basis of an LP relaxation,
+/// refactorizes it (basis_lu.hpp), and derives one GMI cut per basic
+/// integer-constrained variable with a usefully fractional value. The
+/// derivation works in the bounded-variable tableau of the working system
+/// M x = [A | -I] x = 0: every nonbasic column is shifted to its resting
+/// bound (t_j = x_j - lo_j or up_j - x_j), the classic GMI formula is
+/// applied to the shifted row, and the cut is mapped back to *structural*
+/// variables only — slack columns are substituted out through their row
+/// definitions, so the returned rows can be appended to any LpProblem (or
+/// a Model) without referencing solver internals.
+///
+/// Numerics follow the usual safe-rounding playbook: rows whose basic
+/// fractionality sits outside [min_fractionality, 1 - min_fractionality]
+/// are skipped, near-zero cut coefficients are dropped with an rhs
+/// compensation that keeps the cut valid (weaker, never wrong), cuts with
+/// extreme coefficient dynamism are discarded, and every surviving rhs is
+/// relaxed by a relative epsilon. The pool is then filtered: cuts must cut
+/// off the fractional vertex by at least min_violation (normalized), and
+/// near-parallel cuts are deduplicated keeping the most violated first,
+/// capped at max_cuts.
+///
+/// Cuts generated at the branch & bound *root* are valid for the whole
+/// tree (the derivation only uses global bounds and integrality).
+
+#include <vector>
+
+#include "opt/simplex.hpp"
+
+namespace mlsi::opt {
+
+struct CutParams {
+  /// Maximum cuts returned per generation round.
+  int max_cuts = 32;
+  /// Basic values closer than this to an integer generate no cut (the
+  /// resulting GMI row would be all-noise).
+  double min_fractionality = 0.005;
+  /// Minimum normalized violation (cut distance to the fractional vertex,
+  /// scaled by the coefficient 2-norm) for a cut to enter the pool.
+  double min_violation = 1e-4;
+  /// Pairwise cosine above which two cuts are considered duplicates; the
+  /// more violated one wins.
+  double max_parallelism = 0.95;
+  /// Discard cuts whose |coef| max/min ratio exceeds this (ill-scaled rows
+  /// hurt the LU more than the bound improvement helps).
+  double max_dynamism = 1e7;
+  /// Coefficients below this (relative to the largest) are dropped with a
+  /// validity-preserving rhs compensation.
+  double drop_tol = 1e-11;
+};
+
+struct CutStats {
+  long generated = 0;  ///< raw GMI rows derived before filtering
+  long kept = 0;       ///< rows returned to the caller
+  long dropped = 0;    ///< filtered: weak, parallel, ill-scaled, or overflow
+};
+
+/// Derives GMI cuts for \p lp from \p root (an optimal solve_lp result whose
+/// basis snapshot is complete). \p is_integral has one flag per structural
+/// variable. Returns `coef·x >= lo` rows over structural variables, already
+/// filtered and safe to append to the problem; empty when the basis cannot
+/// be refactorized cleanly or nothing useful is fractional.
+[[nodiscard]] std::vector<LpRow> generate_gomory_cuts(
+    const LpProblem& lp, const LpResult& root,
+    const std::vector<char>& is_integral, const CutParams& params,
+    CutStats* stats = nullptr);
+
+}  // namespace mlsi::opt

@@ -4,16 +4,30 @@
 /// \brief Exact branch & bound MILP solver over the simplex relaxation.
 ///
 /// solve_milp() accepts a (possibly quadratic) Model, linearizes binary
-/// products exactly (see linearize_products), and runs depth-first branch &
-/// bound with most-fractional branching and nearest-integer-first child
-/// ordering. Depth-first keeps memory constant and finds incumbents early;
-/// every incumbent is re-verified against the original model before being
+/// products exactly (see linearize_products), and runs branch & bound with
+/// most-fractional branching and nearest-integer-first child ordering.
+/// Before the tree search, Gomory mixed-integer cuts (cuts.hpp) tighten the
+/// root relaxation for MilpParams::cut_rounds rounds; root cuts are globally
+/// valid, so the tree inherits the stronger bound for free.
+///
+/// With MilpParams::jobs == 1 (the default) the search is the classic
+/// serial DFS: constant memory, early incumbents, children dual-warm-started
+/// from the parent basis. With jobs > 1 the root subtree is expanded
+/// breadth-first into a frontier of independent subproblems, each carrying
+/// its parent's LpBasis, and a support::ThreadPool drains the frontier with
+/// one DFS searcher per worker; the incumbent is shared through an atomic
+/// minimum exactly as in synth::solve_portfolio. Every subtree is explored
+/// to exhaustion under sound pruning, so the *result* (proven optimum) is
+/// deterministic even though the search order is not.
+///
+/// Every incumbent is re-verified against the original model before being
 /// accepted, so a numerically shaky LP can never produce an invalid
 /// "solution".
 
 #include <string>
 #include <vector>
 
+#include "opt/cuts.hpp"
 #include "opt/model.hpp"
 #include "opt/simplex.hpp"
 #include "support/timer.hpp"
@@ -37,7 +51,17 @@ struct SolveStats {
   long warm_starts = 0;  ///< child LPs re-entered from the parent's basis
   long cold_starts = 0;  ///< LPs solved from the slack basis (root included)
   double runtime_s = 0.0;
-  double root_bound = 0.0;  ///< objective bound from the root relaxation
+  /// Objective bound from the root relaxation after cut rounds (the bound
+  /// the tree search starts from).
+  double root_bound = 0.0;
+  /// Root relaxation bound before any cuts; equals root_bound when cuts are
+  /// disabled or none applied. The precut -> postcut delta is the measured
+  /// strength of the Gomory rounds (also exported as the
+  /// milp.root_bound_{precut,postcut} gauges).
+  double root_bound_precut = 0.0;
+  long cuts_generated = 0;  ///< raw GMI rows derived across all rounds
+  long cuts_applied = 0;    ///< cut rows appended to the relaxation
+  long cuts_dropped = 0;    ///< filtered out (weak, parallel, ill-scaled)
 };
 
 struct Solution {
@@ -73,6 +97,18 @@ struct MilpParams {
   double abs_gap = 1e-6;
   /// Run the presolve reductions (opt/presolve.hpp) before the search.
   bool presolve = true;
+  /// Rounds of Gomory mixed-integer cut generation at the root; each round
+  /// re-solves the relaxation (dual warm start) and generates from the new
+  /// basis. 0 disables cutting. Cuts are root-only: they strengthen the
+  /// global relaxation, so they stay valid in every subtree.
+  int cut_rounds = 3;
+  /// Generation/filtering knobs for the root cuts (cuts.hpp).
+  CutParams cuts;
+  /// Worker threads for the tree search: 1 (default) = serial DFS, n > 1 =
+  /// n DFS workers over a breadth-first frontier with a shared incumbent,
+  /// <= 0 = hardware parallelism. The proven optimum is identical at every
+  /// job count; only the search order (and node count) varies.
+  int jobs = 1;
   LpParams lp;
   bool log = false;
 };

@@ -22,6 +22,9 @@ constexpr double kRateTol = 1e-9;
 constexpr double kAlphaTol = 1e-9;
 /// Pivots between full recomputations of the basic values (drift cap).
 constexpr int kValueRefreshInterval = 64;
+/// Devex/steepest-edge weights beyond this trigger a reference-framework
+/// reset (the approximation has drifted far from any plausible norm).
+constexpr double kWeightResetLimit = 1e8;
 
 /// Sparse revised bounded-variable simplex (see simplex.hpp for the method
 /// overview). One instance per solve.
@@ -71,10 +74,28 @@ class RevisedSimplex {
   };
   /// Picks an entering column. Phase 1 prices the infeasibility gradient
   /// g_j = a_j·B^{-T}s (s = ±1 per violated basic row); phase 2 prices the
-  /// reduced costs d_j = c_j - a_j·B^{-T}c_B. Sectioned partial pricing
-  /// with a rotating cursor; Bland mode scans everything and returns the
-  /// smallest attractive index (anti-cycling). j = -1 when none qualifies.
+  /// reduced costs d_j = c_j - a_j·B^{-T}c_B. Dantzig mode does sectioned
+  /// partial pricing with a rotating cursor; devex/steepest-edge score
+  /// every attractive column by d_j²/w_j against the reference weights.
+  /// Bland mode scans everything and returns the smallest attractive index
+  /// (anti-cycling). j = -1 when none qualifies.
   Candidate price(bool phase1, bool bland);
+  /// True when reference weights drive selection (devex / steepest edge,
+  /// outside Bland mode).
+  [[nodiscard]] bool weighted_pricing() const {
+    return params_.pricing != LpPricing::kDantzig;
+  }
+  /// Forrest–Goldfarb update of the primal reference weights for the pivot
+  /// "q enters at row r" (w = B^{-1}a_q against the pre-pivot basis). Must
+  /// run before the LU update. Devex takes one BTRAN (the pivot row);
+  /// steepest edge adds one more for the exact Goldfarb recurrence.
+  void update_primal_weights(int q, int r, const std::vector<double>& w);
+  /// Dual mirror: row weights approximating ||B^{-T}e_r||², updated from
+  /// the FTRAN'd entering column (devex) or exactly via one extra FTRAN of
+  /// the pivot row (steepest edge).
+  void update_dual_weights(int r, double wr, const std::vector<double>& w);
+  /// Resets both weight sets to the unit reference framework.
+  void reset_weights();
 
   // --- ratio test ----------------------------------------------------------
   struct Block {
@@ -131,11 +152,15 @@ class RevisedSimplex {
   std::vector<double> w_;         ///< FTRAN'd entering column
   std::vector<double> rho_;       ///< dual: B^{-T} e_r
   std::vector<double> alpha_;     ///< dual: pivot row alpha_j = a_j·rho
+  std::vector<double> tau_;       ///< steepest-edge scratch (2nd BTRAN/FTRAN)
+  std::vector<double> col_weight_;  ///< devex/SE weights, per working column
+  std::vector<double> row_weight_;  ///< dual devex/SE weights, per basis row
 
   int cursor_ = 0;  ///< partial-pricing rotation state
   long iters_ = 0;
   long phase1_iters_ = 0;
   long dual_iters_ = 0;
+  long bland_iters_ = 0;
   long degen_ = 0;  ///< pivots with a ~zero Harris step
   int pivots_since_refresh_ = 0;
   bool basis_repaired_ = false;
@@ -156,6 +181,13 @@ void RevisedSimplex::build() {
   basis_.resize(static_cast<std::size_t>(m_));
   basic_row_.assign(static_cast<std::size_t>(cols_), -1);
   in_basis_.assign(static_cast<std::size_t>(cols_), 0);
+  col_weight_.assign(static_cast<std::size_t>(cols_), 1.0);
+  row_weight_.assign(static_cast<std::size_t>(m_), 1.0);
+}
+
+void RevisedSimplex::reset_weights() {
+  std::fill(col_weight_.begin(), col_weight_.end(), 1.0);
+  std::fill(row_weight_.begin(), row_weight_.end(), 1.0);
 }
 
 void RevisedSimplex::cold_start() {
@@ -238,6 +270,11 @@ void RevisedSimplex::factorize_basis() {
     basic_row_[b] = r;
     in_basis_[static_cast<std::size_t>(b)] = 1;
   }
+  // New reference framework: the devex/steepest-edge approximations are
+  // anchored to the basis at their last reset, and a refactorization is the
+  // natural (and cheap) point to re-anchor — factorize() may also have
+  // permuted basis_, which invalidates the row-indexed dual weights.
+  reset_weights();
   compute_basic_values();
 }
 
@@ -342,6 +379,26 @@ RevisedSimplex::Candidate RevisedSimplex::price(bool phase1, bool bland) {
     }
     return best;
   }
+  if (weighted_pricing()) {
+    // Devex / steepest edge: full scan, best d²/w ratio wins. The weights
+    // approximate ||B^{-1}a_j||², so the score is the squared objective
+    // rate per unit of *edge* length — the measure Dantzig pricing ignores
+    // and the reason it zig-zags on degenerate vertices.
+    double best_ratio = 0.0;
+    for (int j = 0; j < cols_; ++j) {
+      if (is_basic(j) || col_span(j) < ftol) continue;
+      double dir;
+      const double s = score_of(j, &dir);
+      if (s >= threshold) continue;
+      const double ratio =
+          s * s / std::max(col_weight_[static_cast<std::size_t>(j)], 1e-12);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = {j, dir};
+      }
+    }
+    return best;
+  }
   // Sectioned partial pricing: scan fixed-size windows from a rotating
   // cursor and take the best candidate of the first window holding one.
   // Spreads pricing work across the column range without giving up the
@@ -368,6 +425,92 @@ RevisedSimplex::Candidate RevisedSimplex::price(bool phase1, bool bland) {
   }
   cursor_ = pos;
   return best;
+}
+
+void RevisedSimplex::update_primal_weights(int q, int r,
+                                           const std::vector<double>& w) {
+  const double alpha_q = w[static_cast<std::size_t>(r)];
+  if (std::fabs(alpha_q) <= kAlphaTol) {
+    // Too small to normalize against; re-anchor rather than divide by it.
+    reset_weights();
+    return;
+  }
+  // Pivot row of the pre-pivot basis: rho = B^{-T} e_r, alpha_j = a_j·rho.
+  rho_.assign(static_cast<std::size_t>(m_), 0.0);
+  rho_[static_cast<std::size_t>(r)] = 1.0;
+  lu_.btran(rho_);
+  const bool exact = params_.pricing == LpPricing::kSteepestEdge;
+  double gamma_q = col_weight_[static_cast<std::size_t>(q)];
+  if (exact) {
+    // gamma_q = 1 + ||B^{-1}a_q||² is available for free: w IS B^{-1}a_q.
+    gamma_q = 1.0;
+    for (const double wi : w) gamma_q += wi * wi;
+    tau_ = w;
+    lu_.btran(tau_);  // tau = B^{-T}B^{-1}a_q, the Goldfarb cross term
+  }
+  bool overflow = false;
+  for (int j = 0; j < cols_; ++j) {
+    if (j == q || is_basic(j)) continue;
+    const double alpha_j = mat_.dot_column(j, rho_);
+    if (alpha_j == 0.0) continue;
+    const double ratio = alpha_j / alpha_q;
+    double& wj = col_weight_[static_cast<std::size_t>(j)];
+    if (exact) {
+      const double beta_j = mat_.dot_column(j, tau_);
+      // Goldfarb recurrence, floored by the norm contribution the pivot
+      // itself guarantees (guards roundoff-negative weights).
+      wj = std::max(wj - 2.0 * ratio * beta_j + ratio * ratio * gamma_q,
+                    1.0 + ratio * ratio);
+    } else {
+      // Forrest–Goldfarb devex: monotone max update within the framework.
+      wj = std::max(wj, ratio * ratio * gamma_q);
+    }
+    if (wj > kWeightResetLimit) overflow = true;
+  }
+  // The leaving variable joins the nonbasic set along the entering edge.
+  const int leaving = basis_[static_cast<std::size_t>(r)];
+  col_weight_[static_cast<std::size_t>(leaving)] =
+      std::max(gamma_q / (alpha_q * alpha_q), 1.0);
+  if (col_weight_[static_cast<std::size_t>(leaving)] > kWeightResetLimit) {
+    overflow = true;
+  }
+  if (overflow) reset_weights();
+}
+
+void RevisedSimplex::update_dual_weights(int r, double wr,
+                                         const std::vector<double>& w) {
+  if (std::fabs(wr) <= kAlphaTol) {
+    reset_weights();
+    return;
+  }
+  const bool exact = params_.pricing == LpPricing::kSteepestEdge;
+  double gamma_r = row_weight_[static_cast<std::size_t>(r)];
+  if (exact) {
+    // rho_ still holds B^{-T}e_r for this pivot: the exact norm is free.
+    gamma_r = 0.0;
+    for (const double v : rho_) gamma_r += v * v;
+    tau_ = rho_;
+    lu_.ftran(tau_);  // tau = B^{-1}B^{-T}e_r
+  }
+  bool overflow = false;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    const double wi = w[static_cast<std::size_t>(i)];
+    if (wi == 0.0) continue;
+    const double ratio = wi / wr;
+    double& g = row_weight_[static_cast<std::size_t>(i)];
+    if (exact) {
+      g = std::max(g - 2.0 * ratio * tau_[static_cast<std::size_t>(i)] +
+                       ratio * ratio * gamma_r,
+                   1e-4);
+    } else {
+      g = std::max(g, ratio * ratio * gamma_r);
+    }
+    if (g > kWeightResetLimit) overflow = true;
+  }
+  row_weight_[static_cast<std::size_t>(r)] =
+      std::max(gamma_r / (wr * wr), 1e-4);
+  if (overflow) reset_weights();
 }
 
 RevisedSimplex::Block RevisedSimplex::ratio_test(const std::vector<double>& w,
@@ -469,6 +612,9 @@ void RevisedSimplex::apply_step(int j, double dir,
   // for the entering column and append the product-form update.
   if (t < 1e-12) ++degen_;
   const int r = block.leave_row;
+  // Reference weights need the pre-pivot basis (BTRAN of e_r and the
+  // nonbasic partition), so update them before the swap and LU update.
+  if (weighted_pricing()) update_primal_weights(j, r, w);
   const int leaving = basis_[static_cast<std::size_t>(r)];
   val_[leaving] = block.leave_to;
   basic_row_[leaving] = -1;
@@ -507,6 +653,7 @@ bool RevisedSimplex::run_phase1() {
       return false;
     }
     ++phase1_iters_;
+    if (bland) ++bland_iters_;
     ftran_column(c.j, w_);
     apply_step(c.j, c.dir, w_,
                ratio_test(w_, c.j, c.dir, /*phase1=*/true, bland));
@@ -556,6 +703,7 @@ bool RevisedSimplex::run_phase2() {
         return false;
       }
     }
+    if (bland) ++bland_iters_;
     ftran_column(c.j, w_);
     apply_step(c.j, c.dir, w_,
                ratio_test(w_, c.j, c.dir, /*phase1=*/false, bland));
@@ -618,23 +766,40 @@ RevisedSimplex::DualOutcome RevisedSimplex::run_dual() {
   long taken = 0;
   bool retried = false;
   while (true) {
-    // Leaving row: the basic variable with the largest bound violation.
+    // Leaving row: largest bound violation (Dantzig), or largest
+    // viol²/weight under devex/steepest-edge row weights — the dual mirror
+    // of d²/w entering-column pricing.
     int r = -1;
-    double viol = ftol;
+    double best_score = 0.0;
     double sigma = 0.0;
     double target = 0.0;
+    const bool weighted = weighted_pricing();
     for (int i = 0; i < m_; ++i) {
       const int b = basis_[static_cast<std::size_t>(i)];
-      if (val_[b] < lo_[b] - viol) {
-        viol = lo_[b] - val_[b];
+      double v;
+      double sg;
+      double tg;
+      if (val_[b] < lo_[b] - ftol) {
+        v = lo_[b] - val_[b];
+        sg = -1.0;
+        tg = lo_[b];
+      } else if (val_[b] > up_[b] + ftol) {
+        v = val_[b] - up_[b];
+        sg = 1.0;
+        tg = up_[b];
+      } else {
+        continue;
+      }
+      const double score =
+          weighted
+              ? v * v /
+                    std::max(row_weight_[static_cast<std::size_t>(i)], 1e-12)
+              : v;
+      if (score > best_score) {
+        best_score = score;
         r = i;
-        sigma = -1.0;
-        target = lo_[b];
-      } else if (val_[b] > up_[b] + viol) {
-        viol = val_[b] - up_[b];
-        r = i;
-        sigma = 1.0;
-        target = up_[b];
+        sigma = sg;
+        target = tg;
       }
     }
     if (r < 0) return DualOutcome::kFeasible;
@@ -733,6 +898,7 @@ RevisedSimplex::DualOutcome RevisedSimplex::run_dual() {
       restore_dual_feasibility(d);
       continue;
     }
+    if (weighted) update_dual_weights(r, wr, w_);
     const double delta = (val_[leaving] - target) / wr;
     if (delta != 0.0) {
       for (int i = 0; i < m_; ++i) {
@@ -821,6 +987,7 @@ LpResult RevisedSimplex::run() {
   out.iterations = iters_;
   out.phase1_iterations = phase1_iters_;
   out.dual_iterations = dual_iters_;
+  out.bland_iterations = bland_iters_;
   out.factorizations = lu_.factorizations();
   out.degenerate_steps = degen_;
   out.used_warm_start = used_warm_start_;
@@ -834,10 +1001,17 @@ namespace {
 /// Per-*solve* aggregates (never per-pivot — the overhead contract): call
 /// counts as counters, shape-of-the-solve as histograms. Instrument
 /// references are cached; the registry map probe happens once per process.
-void record_lp_metrics(const LpResult& result, std::int64_t elapsed_us) {
+void record_lp_metrics(const LpResult& result, LpPricing pricing,
+                       std::int64_t elapsed_us) {
   using obs::metrics;
   static obs::Counter& solves = metrics().counter("lp.solves");
   static obs::Counter& pivots = metrics().counter("lp.pivots");
+  static obs::Counter& by_dantzig =
+      metrics().counter("lp.pivots_by_rule.dantzig");
+  static obs::Counter& by_devex = metrics().counter("lp.pivots_by_rule.devex");
+  static obs::Counter& by_se =
+      metrics().counter("lp.pivots_by_rule.steepest_edge");
+  static obs::Counter& by_bland = metrics().counter("lp.pivots_by_rule.bland");
   static obs::Counter& degen = metrics().counter("lp.degenerate_steps");
   static obs::Counter& factor = metrics().counter("lp.factorizations");
   static obs::Counter& warm = metrics().counter("lp.warm_starts");
@@ -850,6 +1024,15 @@ void record_lp_metrics(const LpResult& result, std::int64_t elapsed_us) {
 
   solves.add();
   pivots.add(result.iterations);
+  const long ruled = result.iterations - result.bland_iterations;
+  if (ruled > 0) {
+    switch (pricing) {
+      case LpPricing::kDantzig: by_dantzig.add(ruled); break;
+      case LpPricing::kDevex: by_devex.add(ruled); break;
+      case LpPricing::kSteepestEdge: by_se.add(ruled); break;
+    }
+  }
+  if (result.bland_iterations > 0) by_bland.add(result.bland_iterations);
   degen.add(result.degenerate_steps);
   factor.add(result.factorizations);
   if (result.used_warm_start) warm.add();
@@ -880,8 +1063,20 @@ LpResult solve_lp(const LpProblem& lp, const LpParams& params) {
     RevisedSimplex solver(lp, params);
     result = solver.run();
   }
-  record_lp_metrics(result, support::monotonic_us() - start_us);
+  // The dense oracle always prices Dantzig-style regardless of the knob.
+  record_lp_metrics(result,
+                    params.use_dense ? LpPricing::kDantzig : params.pricing,
+                    support::monotonic_us() - start_us);
   return result;
+}
+
+std::string_view to_string(LpPricing pricing) {
+  switch (pricing) {
+    case LpPricing::kDantzig: return "dantzig";
+    case LpPricing::kDevex: return "devex";
+    case LpPricing::kSteepestEdge: return "steepest_edge";
+  }
+  return "unknown";
 }
 
 }  // namespace mlsi::opt

@@ -16,9 +16,11 @@
 /// (basis_lu.hpp); solves go through sparse FTRAN/BTRAN, never an explicit
 /// inverse. Phase 1 minimizes the sum of primal infeasibilities with
 /// dynamically recomputed gradient costs and short-step blocking; phase 2
-/// runs Dantzig pricing over packed columns with a rotating partial-pricing
-/// cursor. The ratio test is two-pass Harris-style; Bland's rule engages
-/// after a stall to guarantee termination.
+/// prices by the rule selected in LpParams::pricing — devex or exact
+/// steepest-edge reference weights (the default), or the original sectioned
+/// Dantzig scan with a rotating partial-pricing cursor. The ratio test is
+/// two-pass Harris-style; Bland's rule engages after a stall to guarantee
+/// termination.
 ///
 /// Warm starts: a caller holding an optimal parent basis (branch & bound
 /// after a single bound change) re-enters through the bounded-variable
@@ -32,6 +34,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/executor.hpp"
@@ -62,6 +65,27 @@ enum class LpStatus {
   kIterLimit,  ///< max_iters or deadline hit before convergence
 };
 
+/// \brief Entering-column (primal) / leaving-row (dual) selection rule.
+///
+/// kDantzig is the original sectioned partial pricing over raw reduced
+/// costs. kDevex maintains Forrest–Goldfarb reference-framework weights
+/// approximating the steepest-edge norms ||B^{-1}a_j||²; candidates are
+/// scored d_j²/w_j, which strongly favours pivots that actually move the
+/// objective and cuts pivot counts on the degenerate scheduling/routing
+/// LPs. kSteepestEdge upgrades the weight update to the exact Goldfarb
+/// recurrence (one extra BTRAN/FTRAN per pivot) — fewest pivots, highest
+/// per-pivot cost. Weights survive eta (product-form) updates and are reset
+/// to the unit reference framework at every refactorization; Bland
+/// anti-cycling mode overrides all of them. The dual simplex mirrors the
+/// choice with row weights approximating ||B^{-T}e_r||².
+enum class LpPricing : char {
+  kDantzig = 0,
+  kDevex = 1,
+  kSteepestEdge = 2,
+};
+
+[[nodiscard]] std::string_view to_string(LpPricing pricing);
+
 /// Status of one working column (structural or slack) in a basis snapshot.
 enum class ColStatus : char {
   kAtLower = 0,
@@ -91,6 +115,10 @@ struct LpResult {
   long iterations = 0;        ///< total pivots/flips (primal + dual)
   long phase1_iterations = 0; ///< primal phase-1 share of `iterations`
   long dual_iterations = 0;   ///< dual-simplex share of `iterations`
+  /// Iterations taken in Bland anti-cycling mode; the remaining
+  /// `iterations - bland_iterations` were priced by LpParams::pricing
+  /// (feeds the lp.pivots_by_rule.* counters).
+  long bland_iterations = 0;
   long factorizations = 0;    ///< basis (re)factorizations performed
   /// Basis changes whose Harris ratio step was (numerically) zero — the
   /// degeneracy measure fed to the obs::metrics histogram.
@@ -104,6 +132,9 @@ struct LpParams {
   double feas_tol = 1e-7;
   double opt_tol = 1e-7;
   long max_iters = 500000;
+  /// Entering/leaving selection rule for the revised simplex (the dense
+  /// oracle always prices Dantzig-style). Devex is the production default.
+  LpPricing pricing = LpPricing::kDevex;
   /// Iterations without objective progress before switching to Bland's rule.
   int stall_limit = 256;
   Deadline deadline;  ///< unlimited by default

@@ -445,6 +445,9 @@ Result<SynthesisResult> IqpBuilder::extract(const opt::Solution& sol,
   out.stats.lp_factorizations = sol.stats.lp_factorizations;
   out.stats.warm_starts = sol.stats.warm_starts;
   out.stats.cold_starts = sol.stats.cold_starts;
+  out.stats.cuts_generated = sol.stats.cuts_generated;
+  out.stats.cuts_applied = sol.stats.cuts_applied;
+  out.stats.cuts_dropped = sol.stats.cuts_dropped;
   return out;
 }
 
@@ -472,6 +475,7 @@ Result<SynthesisResult> IqpBuilder::run() {
   milp.deadline = support::Deadline::sooner(milp.deadline, params_.deadline);
   milp.stop = params_.stop;
   milp.log = params_.log;
+  if (milp.jobs == 1) milp.jobs = params_.jobs;
   const opt::Solution sol = opt::solve_milp(model_, milp);
   switch (sol.status) {
     case opt::MilpStatus::kInfeasible:

@@ -176,6 +176,9 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
   long total_lp_factorizations = 0;
   long total_warm_starts = 0;
   long total_cold_starts = 0;
+  long total_cuts_generated = 0;
+  long total_cuts_applied = 0;
+  long total_cuts_dropped = 0;
   int best = -1;
   bool all_exact = true;   // every racer that had to finish did, exactly
   bool any_truncated = false;
@@ -197,6 +200,9 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
       total_lp_factorizations += outcome->stats.lp_factorizations;
       total_warm_starts += outcome->stats.warm_starts;
       total_cold_starts += outcome->stats.cold_starts;
+      total_cuts_generated += outcome->stats.cuts_generated;
+      total_cuts_applied += outcome->stats.cuts_applied;
+      total_cuts_dropped += outcome->stats.cuts_dropped;
       if (!outcome->stats.proven_optimal) any_truncated = true;
       if (best < 0 ||
           improves(*outcome, *outcomes[static_cast<std::size_t>(best)])) {
@@ -232,6 +238,9 @@ Result<SynthesisResult> solve_portfolio(const arch::SwitchTopology& topo,
     out.stats.lp_factorizations = total_lp_factorizations;
     out.stats.warm_starts = total_warm_starts;
     out.stats.cold_starts = total_cold_starts;
+    out.stats.cuts_generated = total_cuts_generated;
+    out.stats.cuts_applied = total_cuts_applied;
+    out.stats.cuts_dropped = total_cuts_dropped;
     out.stats.runtime_s = timer.seconds();
     if (obs::metrics_enabled()) {
       obs::metrics().counter("portfolio.races").add();

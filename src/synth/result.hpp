@@ -42,6 +42,9 @@ struct EngineStats {
   long lp_factorizations = 0; ///< basis (re)factorizations
   long warm_starts = 0;       ///< child LPs re-entered from a parent basis
   long cold_starts = 0;       ///< LPs cold-started from the slack basis
+  long cuts_generated = 0;    ///< Gomory rows derived at MILP roots
+  long cuts_applied = 0;      ///< cut rows appended to the relaxations
+  long cuts_dropped = 0;      ///< cut rows filtered by the pool
 };
 
 struct SynthesisResult {

@@ -92,6 +92,7 @@ void Synthesizer::apply_post_processing(SynthesisResult& result) const {
       milp.deadline = support::Deadline::sooner(
           milp.deadline, options_.engine_params.deadline);
       milp.stop = options_.engine_params.stop;
+      if (milp.jobs == 1) milp.jobs = options_.engine_params.jobs;
       const PressureGroups groups =
           options_.pressure == PressureMode::kGreedy
               ? pressure_groups_greedy(compat)
@@ -103,6 +104,9 @@ void Synthesizer::apply_post_processing(SynthesisResult& result) const {
       result.stats.lp_factorizations += groups.milp_stats.lp_factorizations;
       result.stats.warm_starts += groups.milp_stats.warm_starts;
       result.stats.cold_starts += groups.milp_stats.cold_starts;
+      result.stats.cuts_generated += groups.milp_stats.cuts_generated;
+      result.stats.cuts_applied += groups.milp_stats.cuts_applied;
+      result.stats.cuts_dropped += groups.milp_stats.cuts_dropped;
       break;
     }
   }

@@ -260,7 +260,11 @@ TEST(MilpTest, ChildNodesWarmStartFromParentBasis) {
   }
   m.add_constraint(sum, Sense::kLe, 9.7);
   m.set_objective(obj, /*minimize=*/true);
-  const Solution s = solve_milp(m);
+  // Root cuts add extra (warm) LP re-solves on node 1, which would blur the
+  // one-LP-per-node accounting this test pins down — disable them here.
+  MilpParams params;
+  params.cut_rounds = 0;
+  const Solution s = solve_milp(m, params);
   ASSERT_EQ(s.status, MilpStatus::kOptimal);
   EXPECT_EQ(s.stats.warm_starts + s.stats.cold_starts, s.stats.nodes);
   ASSERT_GT(s.stats.nodes, 1) << "model did not branch; test is vacuous";
@@ -299,6 +303,131 @@ TEST(MilpTest, DenseLpEngineAgreesWithRevised) {
     ASSERT_EQ(b.status, MilpStatus::kOptimal);
     EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
   }
+}
+
+// --- root Gomory cuts --------------------------------------------------------
+
+TEST(MilpTest, RootCutsTightenBoundWithoutChangingOptimum) {
+  // Cut rounds must improve (or at worst keep) the root bound and land on
+  // the identical proven optimum; the node count should not grow.
+  Model m;
+  std::vector<Var> xs;
+  QuadExpr obj;
+  LinExpr sum;
+  for (int j = 0; j < 8; ++j) {
+    xs.push_back(m.add_binary("x"));
+    obj.add(xs.back(), j % 2 == 0 ? -3.0 : -5.0);
+    sum += LinExpr{xs.back()} * (1.0 + 0.5 * j);
+  }
+  m.add_constraint(sum, Sense::kLe, 9.7);
+  m.set_objective(obj, /*minimize=*/true);
+
+  MilpParams with_cuts;  // cut_rounds defaults on
+  MilpParams no_cuts;
+  no_cuts.cut_rounds = 0;
+  const Solution cut = solve_milp(m, with_cuts);
+  const Solution plain = solve_milp(m, no_cuts);
+  ASSERT_EQ(cut.status, MilpStatus::kOptimal);
+  ASSERT_EQ(plain.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(cut.objective, plain.objective, 1e-6);
+  // Minimize convention: a tighter root lower bound is *larger*.
+  EXPECT_GE(cut.stats.root_bound, plain.stats.root_bound - 1e-9);
+  EXPECT_NEAR(cut.stats.root_bound_precut, plain.stats.root_bound, 1e-6);
+  EXPECT_GT(cut.stats.cuts_applied, 0) << "no cut fired; test is vacuous";
+  EXPECT_LE(cut.stats.nodes, plain.stats.nodes);
+}
+
+TEST(MilpTest, CutsPreserveBruteForceOptimum) {
+  // Cross-validation of the cut machinery: on random binary models the
+  // cutting solver must agree with exhaustive enumeration — a single
+  // invalid cut would chop off the optimum and fail this.
+  Rng rng(77717);
+  for (int round = 0; round < 30; ++round) {
+    const int n = rng.next_int(4, 10);
+    Model m;
+    std::vector<Var> xs;
+    LinExpr sum;
+    QuadExpr obj;
+    for (int j = 0; j < n; ++j) {
+      xs.push_back(m.add_binary("x"));
+      sum += LinExpr{xs.back()} * (0.5 + rng.next_double() * 3.0);
+      obj.add(xs.back(), rng.next_double() * 8.0 - 4.0);
+    }
+    m.add_constraint(sum, Sense::kLe,
+                     0.3 + rng.next_double() * static_cast<double>(n));
+    m.set_objective(obj, /*minimize=*/true);
+
+    MilpParams params;
+    params.cut_rounds = 4;  // lean harder on the generator than the default
+    const BruteResult expected = brute_force_min(m);
+    const Solution got = solve_milp(m, params);
+    ASSERT_TRUE(expected.feasible);  // x = 0 is always feasible here
+    ASSERT_EQ(got.status, MilpStatus::kOptimal) << "round " << round;
+    EXPECT_NEAR(got.objective, expected.best, 1e-6) << "round " << round;
+  }
+}
+
+// --- parallel branch & bound -------------------------------------------------
+
+TEST(MilpTest, ParallelSearchProvesIdenticalOptimum) {
+  // The jobs knob changes the search order, never the answer: every job
+  // count must prove the same optimum on models hard enough to branch.
+  // (This test also runs under TSan via check.sh.)
+  Rng rng(90901);
+  for (int round = 0; round < 6; ++round) {
+    const int n = rng.next_int(8, 14);
+    Model m;
+    std::vector<Var> xs;
+    LinExpr sum;
+    QuadExpr obj;
+    for (int j = 0; j < n; ++j) {
+      xs.push_back(m.add_binary("x"));
+      sum += LinExpr{xs.back()} * (1.0 + rng.next_double() * 2.0);
+      obj.add(xs.back(), -1.0 - rng.next_double() * 5.0);
+    }
+    m.add_constraint(sum, Sense::kLe,
+                     static_cast<double>(n) * 0.45 + rng.next_double());
+    m.set_objective(obj, /*minimize=*/true);
+
+    Solution serial;
+    for (const int jobs : {1, 2, 8}) {
+      MilpParams params;
+      params.jobs = jobs;
+      const Solution s = solve_milp(m, params);
+      ASSERT_EQ(s.status, MilpStatus::kOptimal)
+          << "round " << round << " jobs " << jobs;
+      if (jobs == 1) {
+        serial = s;
+      } else {
+        EXPECT_NEAR(s.objective, serial.objective, 1e-6)
+            << "round " << round << " jobs " << jobs;
+      }
+    }
+  }
+}
+
+TEST(MilpTest, ParallelSearchHonorsStopToken) {
+  // A pre-tripped token must unwind every worker promptly and report a
+  // truncated status, exactly like the serial path.
+  Model m;
+  std::vector<Var> xs;
+  LinExpr sum;
+  QuadExpr obj;
+  for (int j = 0; j < 30; ++j) {
+    xs.push_back(m.add_binary("x"));
+    sum += LinExpr{xs.back()} * (1.0 + 0.37 * j);
+    obj.add(xs.back(), -1.0 - 0.61 * j);
+  }
+  m.add_constraint(sum, Sense::kLe, 41.0);
+  m.set_objective(obj, /*minimize=*/true);
+  support::StopSource cancel;
+  cancel.request_stop();
+  MilpParams params;
+  params.jobs = 4;
+  params.stop = cancel.token();
+  const Solution s = solve_milp(m, params);
+  EXPECT_TRUE(s.status == MilpStatus::kFeasible ||
+              s.status == MilpStatus::kUnknown);
 }
 
 }  // namespace

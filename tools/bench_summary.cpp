@@ -1,0 +1,128 @@
+// Merges the per-binary telemetry files the benches drop into
+// bench_out/BENCH_<name>.json into one stable, top-level summary
+// (BENCH_summary.json by default) keyed by git SHA. The summary carries
+// per-bench wall time and the key solver metrics (nodes, pivots,
+// factorizations, warm/cold starts, cut counters) so perf shifts between
+// commits show up in plain `git diff` of the committed file.
+//
+//   bench_summary [--dir bench_out] [--out BENCH_summary.json]
+//
+// Output is deterministic for a given set of inputs: objects serialize
+// with sorted keys and no timestamps are recorded.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using mlsi::json::Object;
+using mlsi::json::Value;
+
+/// Sums an optional numeric field over every record.
+double sum_field(const mlsi::json::Array& records, std::string_view key) {
+  double total = 0.0;
+  for (const Value& rec : records) {
+    total += rec.get_number(key, 0.0);
+  }
+  return total;
+}
+
+long count_true(const mlsi::json::Array& records, std::string_view key) {
+  long n = 0;
+  for (const Value& rec : records) {
+    if (rec.get_bool(key, false)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "bench_out";
+  std::string out_path = "BENCH_summary.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_summary [--dir bench_out] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench_summary: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  Object benches;
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
+  for (const std::string& path : files) {
+    auto parsed = mlsi::json::parse_file(path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_summary: skipping %s: %s\n", path.c_str(),
+                   parsed.status().to_string().c_str());
+      continue;
+    }
+    const Value& doc = *parsed;
+    const std::string bench = doc.get_string("bench", "unknown");
+    git_sha = doc.get_string("git_sha", git_sha);
+    build_type = doc.get_string("build_type", build_type);
+
+    Object s;
+    s["git_sha"] = Value{doc.get_string("git_sha", "unknown")};
+    s["build_type"] = Value{doc.get_string("build_type", "unknown")};
+    const Value* records = doc.find("records");
+    if (records != nullptr && records->is_array()) {
+      const auto& recs = records->as_array();
+      s["records"] = Value{recs.size()};
+      s["ok"] = Value{count_true(recs, "ok")};
+      s["proven_optimal"] = Value{count_true(recs, "proven_optimal")};
+      s["total_wall_ms"] = Value{sum_field(recs, "wall_ms")};
+      s["total_nodes"] = Value{sum_field(recs, "nodes")};
+      s["total_lp_iterations"] = Value{sum_field(recs, "lp_iterations")};
+      s["total_lp_factorizations"] =
+          Value{sum_field(recs, "lp_factorizations")};
+      s["total_lp_warm_starts"] = Value{sum_field(recs, "lp_warm_starts")};
+      s["total_lp_cold_starts"] = Value{sum_field(recs, "lp_cold_starts")};
+      s["total_cuts_generated"] = Value{sum_field(recs, "cuts_generated")};
+      s["total_cuts_applied"] = Value{sum_field(recs, "cuts_applied")};
+      s["total_cuts_dropped"] = Value{sum_field(recs, "cuts_dropped")};
+    }
+    benches[bench] = Value{std::move(s)};
+  }
+
+  Object summary;
+  summary["schema"] = Value{1};
+  summary["git_sha"] = Value{git_sha};
+  summary["build_type"] = Value{build_type};
+  summary["benches"] = Value{std::move(benches)};
+
+  const mlsi::Status written =
+      mlsi::json::write_file(out_path, Value{std::move(summary)});
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench_summary: %s\n", written.to_string().c_str());
+    return 1;
+  }
+  std::printf("bench_summary: %zu bench file(s) -> %s\n", files.size(),
+              out_path.c_str());
+  return 0;
+}
