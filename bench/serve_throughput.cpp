@@ -1,0 +1,221 @@
+// serve_throughput — sustained requests/sec of the mlsi_serve stack under a
+// zipf(1.1) workload over 32 distinct specs, cached vs the no-cache
+// baseline, at several solver worker counts.
+//
+// The headline number for BENCH_summary.json: the cached configuration must
+// sustain >= 10x the baseline's req/s at jobs=4 (the skew means most
+// requests repeat a previously solved spec, so they are answered from the
+// canonicalizing LRU without touching a solver).
+//
+//   serve_throughput [--smoke] [--requests N] [--clients N]
+//
+// --smoke shrinks the request count and *asserts* the 10x speedup (non-zero
+// exit on regression); scripts/check.sh runs it.
+
+#include <cstdio>
+#include <string>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cases/artificial.hpp"
+#include "serve/server.hpp"
+#include "support/argparse.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mlsi;
+
+/// 32 distinct specs spanning sizes and policies, filtered (before timing
+/// starts) to ones that solve to proven optimality: random fixed/clockwise
+/// bindings are frequently infeasible, and infeasible outcomes are not
+/// cached, so they would measure error paths instead of cache behavior.
+std::vector<synth::ProblemSpec> make_workload_specs() {
+  std::vector<synth::ProblemSpec> specs;
+  const synth::BindingPolicy policies[] = {synth::BindingPolicy::kUnfixed,
+                                           synth::BindingPolicy::kClockwise,
+                                           synth::BindingPolicy::kFixed};
+  synth::SynthesisOptions probe;
+  probe.engine_params.deadline = support::Deadline::after(2.0);
+  for (int i = 0; specs.size() < 32 && i < 400; ++i) {
+    cases::ArtificialParams p;
+    p.pins_per_side = i % 3 == 0 ? 3 : 2;
+    p.num_inlets = 2 + i % 2;
+    p.num_outlets = 4 + i % 3;
+    p.num_conflict_pairs = i % 3;
+    p.policy = policies[i % 3];
+    p.seed = 1000 + static_cast<std::uint64_t>(i);
+    if (p.num_inlets + p.num_outlets > 4 * p.pins_per_side) continue;
+    synth::ProblemSpec spec = cases::make_artificial(p);
+    const auto probed = synth::synthesize(spec, probe);
+    if (probed.ok() && probed->stats.proven_optimal) {
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+/// Zipf(s) ranks over [0, n): pick via inverse CDF of 1/(k+1)^s.
+class Zipf {
+ public:
+  Zipf(int n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[static_cast<std::size_t>(k)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int sample(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+      if (u <= cdf_[k]) return static_cast<int>(k);
+    }
+    return static_cast<int>(cdf_.size()) - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct RunStats {
+  double wall_ms = 0.0;
+  long requests = 0;
+  double rps = 0.0;
+  double hit_rate = 0.0;
+  serve::Server::Counters counters;
+};
+
+RunStats drive(const std::vector<synth::ProblemSpec>& specs, int jobs,
+               std::size_t cache_capacity, long num_requests, int clients) {
+  serve::ServeOptions options;
+  options.jobs = jobs;
+  options.cache_capacity = cache_capacity;
+  options.queue_depth = 256;  // measure throughput, not admission control
+  options.default_time_limit_s = 60.0;
+  serve::Server server(options);
+
+  // Pre-drawn zipf(1.1) request sequence, deterministic across runs and
+  // identical for cached and baseline configurations.
+  const Zipf zipf(static_cast<int>(specs.size()), 1.1);
+  Rng rng(42);
+  std::vector<int> sequence(static_cast<std::size_t>(num_requests));
+  for (int& pick : sequence) pick = zipf.sample(rng);
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ServeRequest req;
+      req.time_limit_s = 60.0;
+      for (std::size_t i = static_cast<std::size_t>(c); i < sequence.size();
+           i += static_cast<std::size_t>(clients)) {
+        req.id = cat("q", i);
+        req.spec = specs[static_cast<std::size_t>(sequence[i])];
+        const serve::ServeResponse resp = server.handle(req);
+        if (resp.outcome != serve::ServeOutcome::kOk) {
+          std::fprintf(stderr, "request %s failed: %s\n", req.id.c_str(),
+                       resp.error.c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunStats stats;
+  stats.wall_ms = wall.millis();
+  stats.requests = num_requests;
+  stats.rps = static_cast<double>(num_requests) / (stats.wall_ms / 1000.0);
+  stats.counters = server.counters();
+  stats.hit_rate = stats.counters.requests > 0
+                       ? static_cast<double>(stats.counters.hits) /
+                             static_cast<double>(stats.counters.requests)
+                       : 0.0;
+  return stats;
+}
+
+void record(const std::string& label, int jobs, const RunStats& s) {
+  json::Object rec;
+  rec["case"] = json::Value{label};
+  rec["ok"] = json::Value{true};
+  rec["jobs"] = json::Value{jobs};
+  rec["wall_ms"] = json::Value{s.wall_ms};
+  rec["requests"] = json::Value{static_cast<double>(s.requests)};
+  rec["rps"] = json::Value{s.rps};
+  rec["hits"] = json::Value{static_cast<double>(s.counters.hits)};
+  rec["misses"] = json::Value{static_cast<double>(s.counters.misses)};
+  rec["coalesced"] = json::Value{static_cast<double>(s.counters.coalesced)};
+  rec["rejected"] = json::Value{static_cast<double>(
+      s.counters.rejected_queue + s.counters.rejected_deadline)};
+  rec["solves"] = json::Value{static_cast<double>(s.counters.solves)};
+  rec["hit_rate"] = json::Value{s.hit_rate};
+  bench::Telemetry::instance().record(std::move(rec));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(argc, argv);
+  const bool smoke = args.flag("--smoke");
+  const long num_requests =
+      static_cast<long>(args.number("--requests", smoke ? 600 : 1000));
+  const int clients = static_cast<int>(args.number("--clients", 8));
+  if (const Status parsed = args.finish(0); !parsed.ok()) {
+    std::fprintf(stderr, "usage: serve_throughput [--smoke] [--requests N] "
+                         "[--clients N]\n");
+    return 2;
+  }
+
+  bench::init("serve_throughput");
+  const std::vector<synth::ProblemSpec> specs = make_workload_specs();
+
+  std::printf("serve_throughput: zipf(1.1) over %zu specs, %ld requests, "
+              "%d clients\n",
+              specs.size(), num_requests, clients);
+  std::printf("%-8s %12s %12s %10s %10s\n", "jobs", "baseline r/s",
+              "cached r/s", "speedup", "hit rate");
+
+  const std::vector<int> job_counts = smoke ? std::vector<int>{4}
+                                            : std::vector<int>{1, 2, 4};
+  double speedup_at_4 = 0.0;
+  double hit_rate_at_4 = 0.0;
+  for (const int jobs : job_counts) {
+    const RunStats baseline =
+        drive(specs, jobs, /*cache_capacity=*/0, num_requests, clients);
+    record(cat("jobs", jobs, "_baseline"), jobs, baseline);
+    const RunStats cached =
+        drive(specs, jobs, /*cache_capacity=*/1024, num_requests, clients);
+    record(cat("jobs", jobs, "_cached"), jobs, cached);
+
+    const double speedup = baseline.rps > 0 ? cached.rps / baseline.rps : 0.0;
+    if (jobs == 4) {
+      speedup_at_4 = speedup;
+      hit_rate_at_4 = cached.hit_rate;
+    }
+    std::printf("%-8d %12.0f %12.0f %9.1fx %9.1f%%\n", jobs, baseline.rps,
+                cached.rps, speedup, cached.hit_rate * 100.0);
+
+    json::Object rec;
+    rec["case"] = json::Value{cat("jobs", jobs, "_speedup")};
+    rec["ok"] = json::Value{true};
+    rec["jobs"] = json::Value{jobs};
+    rec["speedup"] = json::Value{speedup};
+    bench::Telemetry::instance().record(std::move(rec));
+  }
+
+  if (smoke && speedup_at_4 < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: cached/baseline speedup at jobs=4 is %.1fx (< 10x)\n",
+                 speedup_at_4);
+    return 1;
+  }
+  if (smoke) {
+    std::printf("smoke serve: %.1fx speedup, %.0f%% hit rate at jobs=4\n",
+                speedup_at_4, hit_rate_at_4 * 100.0);
+  }
+  return 0;
+}

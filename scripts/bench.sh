@@ -6,6 +6,7 @@
 #
 #   scripts/bench.sh            # from the repo root
 #   scripts/bench.sh table_4_1 micro_opt   # run a subset by binary name
+#   scripts/bench.sh serve_throughput      # serving req/s + cache hit rate
 #
 # Results land in bench_out/; a short summary of every BENCH_*.json found
 # is printed at the end. EXPERIMENTS.md before/after tables come from

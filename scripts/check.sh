@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 verification: full build + test suite, a bench smoke run against a
-# known optimum, an observability smoke run (trace/metrics/search-log
-# formats validated by obs_check), the LP/MILP tests again under
-# AddressSanitizer (the sparse LU and eta-file code is pointer-heavy), and
-# the concurrency tests (thread pool, stop tokens, portfolio races, obs
-# emission) again under ThreadSanitizer.
+# known optimum, perf smokes (simplex pricing, serving cache speedup), an
+# observability smoke run (trace/metrics/search-log formats validated by
+# obs_check), a serving replay (persistent cache across a daemon restart),
+# a bench wall-time regression guard against the committed summary, the
+# LP/MILP tests again under AddressSanitizer (the sparse LU and eta-file
+# code is pointer-heavy), and the concurrency tests (thread pool, stop
+# tokens, portfolio races, serve cache/coalescing, obs emission) again
+# under ThreadSanitizer.
 #
 #   scripts/check.sh            # from the repo root
 #
@@ -27,6 +30,11 @@ build/bench/table_4_1 --smoke
 cmake --build build -j "$(nproc)" --target micro_opt
 build/bench/micro_opt --smoke
 
+# Serving smoke: the cached configuration must sustain >= 10x the no-cache
+# baseline's req/s at jobs=4 under the zipf workload.
+cmake --build build -j "$(nproc)" --target serve_throughput
+build/bench/serve_throughput --smoke
+
 # Observability smoke: a portfolio run with all three obs flags, then the
 # format validator (trace = Chrome trace JSON array, search log = JSONL,
 # metrics keys declared in scripts/metrics_schema.json).
@@ -43,6 +51,37 @@ build/tools/obs_check \
     --metrics "$obs_dir/metrics.json" \
     --schema scripts/metrics_schema.json
 
+# Serving replay smoke: the daemon answers the canned request stream twice
+# against the same persistent store. The second run starts from the
+# replayed cache, so >= 90% of its responses must be cache hits; its
+# metrics snapshot (serve.* counters/histograms) must validate against the
+# checked-in schema.
+serve_store="$obs_dir/serve_cache.jsonl"
+build/tools/mlsi_serve --jobs=2 --persist="$serve_store" --quiet \
+    < tests/data/serve_requests.jsonl > "$obs_dir/serve_pass1.jsonl"
+build/tools/mlsi_serve --jobs=2 --persist="$serve_store" --quiet \
+    --metrics-out "$obs_dir/serve_metrics.json" \
+    < tests/data/serve_requests.jsonl > "$obs_dir/serve_pass2.jsonl"
+total=$(grep -c '"id"' "$obs_dir/serve_pass2.jsonl")
+cached=$(grep -c '"cached":true' "$obs_dir/serve_pass2.jsonl" || true)
+if [ "$cached" -lt $(( total * 9 / 10 )) ]; then
+    echo "check.sh: serve replay pass 2: only $cached/$total cached (< 90%)" >&2
+    exit 1
+fi
+echo "check.sh: serve replay pass 2: $cached/$total cached"
+build/tools/obs_check \
+    --metrics "$obs_dir/serve_metrics.json" \
+    --schema scripts/metrics_schema.json
+
+# Bench wall-time regression guard: compare fresh bench_out telemetry
+# against the committed summary from the previous SHA (exit 3 past +50%;
+# benches with differing record counts are skipped).
+if [ -f BENCH_summary.json ] && [ -d bench_out ]; then
+    build/tools/bench_summary --dir bench_out \
+        --out "$obs_dir/bench_summary_check.json" \
+        --baseline BENCH_summary.json --max-regression 0.5
+fi
+
 cmake -B build-asan -S . -DMLSI_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
     --target opt_simplex_test opt_cuts_test opt_milp_test
@@ -53,9 +92,12 @@ build-asan/tests/opt_milp_test
 cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
     --target exec_test obs_test opt_milp_test synth_portfolio_test \
-    mlsi_synth_cli
+    serve_test mlsi_synth_cli
 build-tsan/tests/exec_test
 build-tsan/tests/obs_test
+# Serving layer under TSan: sharded LRU, coalesced flights, admission
+# queue and persistence, all driven by genuinely concurrent clients.
+build-tsan/tests/serve_test
 # Parallel branch & bound: shared incumbent, node counter and frontier under
 # real contention (determinism + stop-token unwind tests included).
 build-tsan/tests/opt_milp_test --gtest_filter='MilpTest.Parallel*'

@@ -155,6 +155,9 @@ class RevisedSimplex {
   std::vector<double> tau_;       ///< steepest-edge scratch (2nd BTRAN/FTRAN)
   std::vector<double> col_weight_;  ///< devex/SE weights, per working column
   std::vector<double> row_weight_;  ///< dual devex/SE weights, per basis row
+  /// Scratch for carrying row weights through a refactorization's basis
+  /// permutation (indexed by working column).
+  std::vector<double> row_weight_work_;
 
   int cursor_ = 0;  ///< partial-pricing rotation state
   long iters_ = 0;
@@ -203,6 +206,10 @@ void RevisedSimplex::cold_start() {
     in_basis_[static_cast<std::size_t>(n_ + r)] = 1;
   }
   factorize_basis();  // trivial triangular factor; fills basic values
+  // A cold start is a brand-new slack basis: begin a fresh unit reference
+  // framework (weights carried over from whatever basis preceded the
+  // fallback would be stale).
+  reset_weights();
   basis_repaired_ = false;
 }
 
@@ -270,11 +277,27 @@ void RevisedSimplex::factorize_basis() {
     basic_row_[b] = r;
     in_basis_[static_cast<std::size_t>(b)] = 1;
   }
-  // New reference framework: the devex/steepest-edge approximations are
-  // anchored to the basis at their last reset, and a refactorization is the
-  // natural (and cheap) point to re-anchor — factorize() may also have
-  // permuted basis_, which invalidates the row-indexed dual weights.
-  reset_weights();
+  // Reference weights persist across refactorizations: the basis matrix is
+  // unchanged (only its factors were rebuilt), so the column weights stay
+  // exact approximations and resetting them to the unit framework would
+  // forfeit steepest-edge's accumulated edge on long solves. factorize()
+  // may have permuted basis_, so the row-indexed dual weights are carried
+  // through the permutation (row r's weight travels with the column that
+  // was basic there). A *repaired* basis is a different matrix — weights
+  // anchored to the old one are meaningless, reset to the unit framework.
+  if (repaired > 0) {
+    reset_weights();
+  } else {
+    row_weight_work_.assign(static_cast<std::size_t>(cols_), 1.0);
+    for (std::size_t r = 0; r < old.size(); ++r) {
+      row_weight_work_[static_cast<std::size_t>(old[r])] = row_weight_[r];
+    }
+    for (int r = 0; r < m_; ++r) {
+      row_weight_[static_cast<std::size_t>(r)] =
+          row_weight_work_[static_cast<std::size_t>(
+              basis_[static_cast<std::size_t>(r)])];
+    }
+  }
   compute_basic_values();
 }
 

@@ -74,10 +74,12 @@ enum class LpStatus {
 /// objective and cuts pivot counts on the degenerate scheduling/routing
 /// LPs. kSteepestEdge upgrades the weight update to the exact Goldfarb
 /// recurrence (one extra BTRAN/FTRAN per pivot) — fewest pivots, highest
-/// per-pivot cost. Weights survive eta (product-form) updates and are reset
-/// to the unit reference framework at every refactorization; Bland
-/// anti-cycling mode overrides all of them. The dual simplex mirrors the
-/// choice with row weights approximating ||B^{-T}e_r||².
+/// per-pivot cost. Weights survive eta (product-form) updates *and*
+/// refactorizations (the row-indexed dual weights are carried through the
+/// factor permutation); they fall back to the unit reference framework only
+/// on weight overflow, basis repair or a cold start. Bland anti-cycling
+/// mode overrides all of them. The dual simplex mirrors the choice with row
+/// weights approximating ||B^{-T}e_r||².
 enum class LpPricing : char {
   kDantzig = 0,
   kDevex = 1,

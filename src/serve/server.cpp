@@ -1,0 +1,409 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "io/case_io.hpp"
+#include "obs/metrics.hpp"
+#include "support/strings.hpp"
+
+namespace mlsi::serve {
+
+using json::Object;
+using json::Value;
+
+namespace {
+
+void count(const char* name, long delta = 1) {
+  if (obs::metrics_enabled()) obs::metrics().counter(name).add(delta);
+}
+
+void observe_latency_us(const char* name, double us) {
+  if (!obs::metrics_enabled()) return;
+  obs::metrics()
+      .histogram(name, {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+                        50000, 100000, 250000, 1000000, 5000000})
+      .observe(us);
+}
+
+}  // namespace
+
+std::string_view to_string(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kOk: return "ok";
+    case ServeOutcome::kInfeasible: return "infeasible";
+    case ServeOutcome::kRejected: return "rejected";
+    case ServeOutcome::kTimeout: return "timeout";
+    case ServeOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+Value response_to_json(const ServeResponse& response) {
+  Object o;
+  o["id"] = Value{response.id};
+  o["status"] = Value{std::string(to_string(response.outcome))};
+  if (!response.error.empty()) o["error"] = Value{response.error};
+  o["cached"] = Value{response.cached};
+  o["coalesced"] = Value{response.coalesced};
+  o["wall_us"] = Value{response.wall_us};
+  if (response.outcome == ServeOutcome::kOk) o["result"] = response.result;
+  return Value{std::move(o)};
+}
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      queue_(options_.queue_depth) {
+  if (!options_.persist_path.empty()) {
+    auto replayed = store_.open(
+        options_.persist_path, options_.code_version,
+        [this](CacheKey key, CachedResult value) {
+          cache_.insert(key, std::move(value));
+        });
+    if (replayed.ok()) {
+      counters_.persist_replayed.store(*replayed, std::memory_order_relaxed);
+      count("serve.persist_replayed", *replayed);
+    }
+  }
+  const int jobs = support::ThreadPool::resolve_jobs(options_.jobs);
+  pool_ = std::make_unique<support::ThreadPool>(jobs);
+  for (int i = 0; i < jobs; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  stop_.request_stop();
+  queue_.close();
+  pool_.reset();  // joins workers; queued flights are drained and published
+  store_.close();
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.requests = counters_.requests.load(std::memory_order_relaxed);
+  c.hits = counters_.hits.load(std::memory_order_relaxed);
+  c.misses = counters_.misses.load(std::memory_order_relaxed);
+  c.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+  c.rejected_queue = counters_.rejected_queue.load(std::memory_order_relaxed);
+  c.rejected_deadline =
+      counters_.rejected_deadline.load(std::memory_order_relaxed);
+  c.solves = counters_.solves.load(std::memory_order_relaxed);
+  c.persist_replayed =
+      counters_.persist_replayed.load(std::memory_order_relaxed);
+  return c;
+}
+
+const Server::Bundle& Server::bundle_for(int pins_per_side) {
+  std::lock_guard<std::mutex> lock(bundles_mutex_);
+  Bundle& b = bundles_[pins_per_side];
+  if (b.topo == nullptr) {
+    b.topo = std::make_unique<arch::SwitchTopology>(
+        arch::make_crossbar(pins_per_side, options_.synth.geometry));
+    b.paths = std::make_unique<arch::PathSet>(
+        arch::enumerate_paths(*b.topo, options_.synth.path_options));
+  }
+  return b;
+}
+
+ServeResponse Server::respond(const ServeRequest& request,
+                              const CanonicalRequest& canon,
+                              const CachedResult& value, Timer t0, bool cached,
+                              bool coalesced) {
+  ServeResponse resp;
+  resp.id = request.id;
+  resp.outcome = ServeOutcome::kOk;
+  resp.cached = cached;
+  resp.coalesced = coalesced;
+  const Bundle& bundle = bundle_for(request.spec.effective_pins_per_side());
+  const synth::SynthesisResult result = to_result(value, canon, *bundle.paths);
+  resp.result = io::result_to_json(*bundle.topo, request.spec, result);
+  // Per-response documents must not embed the process-global metrics
+  // snapshot (it is unbounded and differs between fresh and cached paths —
+  // the differential guarantee is on the synthesis payload).
+  if (resp.result.is_object()) resp.result.as_object().erase("metrics");
+  resp.wall_us = t0.seconds() * 1e6;
+  observe_latency_us("serve.e2e_us", resp.wall_us);
+  return resp;
+}
+
+ServeResponse Server::handle(const ServeRequest& request) {
+  Timer t0;
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  count("serve.requests");
+
+  ServeResponse resp;
+  resp.id = request.id;
+  const auto finish = [&](ServeOutcome outcome, std::string error) {
+    resp.outcome = outcome;
+    resp.error = std::move(error);
+    resp.wall_us = t0.seconds() * 1e6;
+    observe_latency_us("serve.e2e_us", resp.wall_us);
+    return resp;
+  };
+
+  if (Status valid = request.spec.validate(); !valid.ok()) {
+    return finish(ServeOutcome::kError, valid.to_string());
+  }
+  const CanonicalRequest canon =
+      canonicalize(request.spec, options_.synth, options_.code_version);
+
+  if (auto hit = cache_.lookup(canon.key)) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    count("serve.hits");
+    return respond(request, canon, *hit, t0, /*cached=*/true,
+                   /*coalesced=*/false);
+  }
+
+  // Coalescing rides on the cache: the no-cache baseline (capacity 0) must
+  // not share solves either, or it would not be a baseline.
+  const bool coalesce = cache_.capacity() > 0;
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    if (coalesce) {
+      // A flight may have completed (and committed) between the lookup
+      // above and taking this lock; re-check so we never re-solve.
+      if (auto hit = cache_.lookup(canon.key)) {
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        count("serve.hits");
+        return respond(request, canon, *hit, t0, true, false);
+      }
+      if (const auto it = flights_.find(canon.key.text);
+          it != flights_.end()) {
+        flight = it->second;
+      }
+    }
+    if (flight == nullptr) {
+      flight = std::make_shared<Flight>();
+      flight->spec = request.spec;
+      flight->canon = canon;
+      const double limit = request.time_limit_s > 0
+                               ? request.time_limit_s
+                               : options_.default_time_limit_s;
+      flight->deadline = support::Deadline::after(limit);
+      if (!queue_.try_push(flight)) {
+        counters_.rejected_queue.fetch_add(1, std::memory_order_relaxed);
+        count("serve.rejected");
+        return finish(ServeOutcome::kRejected,
+                      "admission queue full (server overloaded)");
+      }
+      leader = true;
+      if (coalesce) flights_[canon.key.text] = flight;
+    }
+  }
+  if (leader) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+    count("serve.misses");
+  } else {
+    counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+    count("serve.coalesced");
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+  }
+  if (flight->outcome == ServeOutcome::kOk) {
+    // Every waiter rehydrates through its OWN canonical permutations, so a
+    // relabeled duplicate gets the answer in its labeling.
+    return respond(request, canon, *flight->value, t0, /*cached=*/false,
+                   /*coalesced=*/!leader);
+  }
+  resp.coalesced = !leader;
+  return finish(flight->outcome, flight->error);
+}
+
+void Server::worker_loop() {
+  while (auto item = queue_.pop()) {
+    const std::shared_ptr<Flight> flight = std::move(*item);
+    observe_latency_us("serve.queue_wait_us", flight->queued_at.seconds() * 1e6);
+    if (stop_.stop_requested()) {
+      publish(flight, ServeOutcome::kRejected, nullptr, "server shutting down");
+      continue;
+    }
+    if (flight->deadline.expired()) {
+      counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      count("serve.rejected_deadline");
+      publish(flight, ServeOutcome::kRejected, nullptr,
+              "deadline expired while queued");
+      continue;
+    }
+    counters_.solves.fetch_add(1, std::memory_order_relaxed);
+    count("serve.solves");
+
+    synth::SynthesisOptions opts = options_.synth;
+    opts.engine_params.deadline =
+        support::Deadline::sooner(opts.engine_params.deadline,
+                                  flight->deadline);
+    opts.engine_params.stop = stop_.token();
+    auto solved = synth::synthesize(flight->spec, opts);
+    if (solved.ok()) {
+      auto cached = std::make_shared<const CachedResult>(
+          to_cached(*solved, flight->canon));
+      // Only proven-optimal answers are cacheable: a deadline-limited
+      // incumbent depends on the budget, which is deliberately not part of
+      // the cache key.
+      if (solved->stats.proven_optimal && cache_.capacity() > 0) {
+        cache_.insert(flight->canon.key, CachedResult(*cached));
+        if (store_.is_open()) {
+          if (store_.append(flight->canon.key, *cached).ok()) {
+            count("serve.persist_appended");
+          }
+        }
+      }
+      publish(flight, ServeOutcome::kOk, std::move(cached), "");
+    } else {
+      ServeOutcome outcome = ServeOutcome::kError;
+      if (solved.status().code() == StatusCode::kInfeasible) {
+        outcome = ServeOutcome::kInfeasible;
+      } else if (solved.status().code() == StatusCode::kTimeout) {
+        outcome = ServeOutcome::kTimeout;
+      }
+      publish(flight, outcome, nullptr, solved.status().message());
+    }
+  }
+}
+
+void Server::publish(const std::shared_ptr<Flight>& flight,
+                     ServeOutcome outcome,
+                     std::shared_ptr<const CachedResult> value,
+                     std::string error) {
+  {
+    // Deregister first: requests arriving after the commit must go through
+    // the cache (or a new flight), never attach to a finished one.
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    if (const auto it = flights_.find(flight->canon.key.text);
+        it != flights_.end() && it->second == flight) {
+      flights_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->outcome = outcome;
+    flight->value = std::move(value);
+    flight->error = std::move(error);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+ServeResponse Server::handle_line(const std::string& line) {
+  ServeResponse resp;
+  auto doc = json::parse(line);
+  if (!doc.ok()) {
+    resp.error = cat("bad request line: ", doc.status().message());
+    return resp;
+  }
+  ServeRequest req;
+  if (const Value* id = doc->find("id"); id != nullptr) {
+    req.id = id->is_string() ? id->as_string() : id->dump();
+  }
+  resp.id = req.id;
+  const Value* spec_doc = doc->find("case");
+  if (spec_doc == nullptr) {
+    resp.error = "request is missing 'case'";
+    return resp;
+  }
+  auto spec = io::spec_from_json(*spec_doc);
+  if (!spec.ok()) {
+    resp.error = spec.status().to_string();
+    return resp;
+  }
+  req.spec = std::move(*spec);
+  req.time_limit_s = doc->get_number("time_limit_s", 0.0);
+  return handle(req);
+}
+
+Status Server::run_stream(std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  {
+    // More frontends than solver workers so the admission queue (not the
+    // frontend pool) is what backpressure hits.
+    support::ThreadPool frontends(
+        support::ThreadPool::resolve_jobs(options_.jobs) * 2);
+    std::string line;
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           std::getline(in, line)) {
+      if (line.empty()) continue;
+      frontends.submit([this, &out, &out_mutex, line] {
+        const ServeResponse resp = handle_line(line);
+        const std::string text = response_to_json(resp).dump();
+        std::lock_guard<std::mutex> lock(out_mutex);
+        out << text << '\n';
+        out.flush();
+      });
+    }
+    frontends.wait_idle();
+  }
+  return Status::Ok();
+}
+
+Status Server::run_socket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        cat("socket path too long: ", path));
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal(cat("cannot listen on ", path));
+  }
+  listen_fd_.store(fd, std::memory_order_relaxed);
+
+  std::vector<std::thread> connections;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;  // listen fd closed by shutdown()
+    connections.emplace_back([this, client] {
+      std::string pending;
+      char chunk[4096];
+      ssize_t n;
+      while ((n = ::read(client, chunk, sizeof chunk)) > 0) {
+        pending.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos;
+        while ((pos = pending.find('\n')) != std::string::npos) {
+          const std::string line = pending.substr(0, pos);
+          pending.erase(0, pos + 1);
+          if (line.empty()) continue;
+          const ServeResponse resp = handle_line(line);
+          const std::string text = response_to_json(resp).dump() + "\n";
+          std::size_t off = 0;
+          while (off < text.size()) {
+            const ssize_t w =
+                ::write(client, text.data() + off, text.size() - off);
+            if (w <= 0) break;
+            off += static_cast<std::size_t>(w);
+          }
+        }
+      }
+      ::close(client);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) ::close(lfd);
+  return Status::Ok();
+}
+
+}  // namespace mlsi::serve

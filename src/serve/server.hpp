@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file server.hpp
+/// \brief Long-running synthesis service: canonicalize -> cache -> solve.
+///
+/// Request lifecycle (Server::handle, thread-safe):
+///
+///  1. validate the spec; 2. canonicalize it together with the synthesis
+///  options and code version into a CacheKey; 3. answer hits straight from
+///  the sharded LRU (sub-millisecond, no solver involved); 4. coalesce
+///  concurrent identical misses onto one in-flight solve (every waiter
+///  shares the result, re-labeled per request); 5. admit the solve into a
+///  bounded queue — a full queue rejects the request instead of buffering
+///  unboundedly, and a request whose deadline expired while queued is
+///  rejected when a worker picks it up; 6. workers solve through the
+///  normal Synthesizer pipeline and commit proven-optimal answers to the
+///  cache and the optional persistent store.
+///
+/// Transport adapters: run_stream() speaks JSONL over std::istream /
+/// std::ostream (the daemon's stdin mode and the replay tests);
+/// run_socket() listens on a Unix domain socket, one JSONL connection per
+/// client thread. Request lines look like
+///   {"id": "r1", "case": {<case-file document>}, "time_limit_s": 30}
+/// and responses like
+///   {"id": "r1", "status": "ok", "cached": true, "coalesced": false,
+///    "wall_us": 412.0, "result": {<result_to_json document>}}
+/// with "status" one of ok | infeasible | rejected | timeout | error.
+///
+/// Observability: serve.* counters (requests, hits, misses, coalesced,
+/// rejected, rejected_deadline, solves) and queue-wait / end-to-end latency
+/// histograms when obs::metrics are enabled; the same numbers are always
+/// available via counters() for tools that run with metrics off.
+
+#include <atomic>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/crossbar.hpp"
+#include "arch/paths.hpp"
+#include "serve/cache.hpp"
+#include "serve/canonical.hpp"
+#include "support/executor.hpp"
+#include "support/queue.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::serve {
+
+struct ServeOptions {
+  /// Engine, reduction, pressure, path and geometry options shared by every
+  /// request (folded into the cache key). Per-request deadline overrides
+  /// engine_params.deadline.
+  synth::SynthesisOptions synth;
+  /// Total in-memory entries; 0 disables caching AND coalescing (the
+  /// pass-through baseline — admission control still applies).
+  std::size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  /// Append-only JSONL store; empty disables persistence.
+  std::string persist_path;
+  /// Solver workers (0 = hardware parallelism).
+  int jobs = 0;
+  /// Admission bound: solves queued but not yet picked up by a worker.
+  std::size_t queue_depth = 64;
+  /// Per-request wall budget when the request carries none.
+  double default_time_limit_s = 120.0;
+  /// Build identifier folded into cache keys and the persistent header.
+  std::string code_version = "dev";
+};
+
+enum class ServeOutcome { kOk, kInfeasible, kRejected, kTimeout, kError };
+
+[[nodiscard]] std::string_view to_string(ServeOutcome outcome);
+
+struct ServeRequest {
+  std::string id;
+  synth::ProblemSpec spec;
+  double time_limit_s = 0.0;  ///< 0 = server default
+};
+
+struct ServeResponse {
+  std::string id;
+  ServeOutcome outcome = ServeOutcome::kError;
+  std::string error;       ///< human-readable detail for rejected/error
+  bool cached = false;     ///< answered from the LRU (no solve)
+  bool coalesced = false;  ///< shared another request's in-flight solve
+  double wall_us = 0.0;    ///< end-to-end handle() latency
+  json::Value result;      ///< result_to_json document when outcome == kOk
+};
+
+/// Serializes a response to its single JSONL line (without the newline).
+[[nodiscard]] json::Value response_to_json(const ServeResponse& response);
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request synchronously; safe to call from any number of
+  /// threads concurrently (this is the bench's client entry point).
+  [[nodiscard]] ServeResponse handle(const ServeRequest& request);
+
+  /// Parses one JSONL request line and handles it.
+  [[nodiscard]] ServeResponse handle_line(const std::string& line);
+
+  /// JSONL loop: one request per input line, one response per output line
+  /// (responses may interleave out of order; match by "id"). Returns after
+  /// EOF once every in-flight request finished.
+  Status run_stream(std::istream& in, std::ostream& out);
+
+  /// Listens on a Unix domain socket at \p path (an existing file is
+  /// replaced); every connection gets its own JSONL loop. Blocks until
+  /// shutdown(). Returns kInternal if the socket cannot be created.
+  Status run_socket(const std::string& path);
+
+  /// Stops accepting work, cancels running solves cooperatively, drains
+  /// the queue and joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  struct Counters {
+    long requests = 0;
+    long hits = 0;
+    long misses = 0;
+    long coalesced = 0;
+    long rejected_queue = 0;
+    long rejected_deadline = 0;
+    long solves = 0;
+    long persist_replayed = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
+
+ private:
+  /// One in-flight solve; concurrent identical requests all wait on it.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ServeOutcome outcome = ServeOutcome::kError;
+    std::string error;
+    std::shared_ptr<const CachedResult> value;
+    // Solve inputs (the first requester's labeling — any waiter's would do).
+    synth::ProblemSpec spec;
+    CanonicalRequest canon;
+    support::Deadline deadline;
+    Timer queued_at;
+  };
+
+  /// Shared immutable topology + candidate paths per switch size, built on
+  /// first use (hits must not re-enumerate paths per request).
+  struct Bundle {
+    std::unique_ptr<arch::SwitchTopology> topo;
+    std::unique_ptr<arch::PathSet> paths;
+  };
+  const Bundle& bundle_for(int pins_per_side);
+
+  void worker_loop();
+  void publish(const std::shared_ptr<Flight>& flight, ServeOutcome outcome,
+               std::shared_ptr<const CachedResult> value, std::string error);
+  ServeResponse respond(const ServeRequest& request,
+                        const CanonicalRequest& canon,
+                        const CachedResult& value, Timer t0, bool cached,
+                        bool coalesced);
+
+  ServeOptions options_;
+  ResultCache cache_;
+  PersistentStore store_;
+  support::StopSource stop_;
+  support::BoundedQueue<std::shared_ptr<Flight>> queue_;
+  std::unique_ptr<support::ThreadPool> pool_;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::mutex bundles_mutex_;
+  std::map<int, Bundle> bundles_;
+
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+
+  struct AtomicCounters {
+    std::atomic<long> requests{0};
+    std::atomic<long> hits{0};
+    std::atomic<long> misses{0};
+    std::atomic<long> coalesced{0};
+    std::atomic<long> rejected_queue{0};
+    std::atomic<long> rejected_deadline{0};
+    std::atomic<long> solves{0};
+    std::atomic<long> persist_replayed{0};
+  };
+  AtomicCounters counters_;
+};
+
+}  // namespace mlsi::serve

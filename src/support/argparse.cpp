@@ -30,7 +30,17 @@ bool ArgParser::flag(std::string_view name) {
 std::optional<std::string> ArgParser::option(std::string_view name) {
   std::optional<std::string> value;
   for (std::size_t i = 0; i < tokens_.size(); ++i) {
-    if (consumed_[i] || tokens_[i] != name) continue;
+    if (consumed_[i]) continue;
+    const std::string& tok = tokens_[i];
+    // "--name=value" — one token, value inline after the '='.
+    if (tok.size() >= name.size() + 1 &&
+        std::string_view{tok}.substr(0, name.size()) == name &&
+        tok[name.size()] == '=') {
+      consumed_[i] = true;
+      value = tok.substr(name.size() + 1);  // last occurrence wins
+      continue;
+    }
+    if (tok != name) continue;
     consumed_[i] = true;
     if (i + 1 >= tokens_.size() || consumed_[i + 1]) {
       fail(cat("option ", name, " requires a value"));

@@ -36,8 +36,10 @@ class ArgParser {
   /// True when \p name appears; consumes every occurrence.
   bool flag(std::string_view name);
 
-  /// Value of "name <value>", or nullopt when absent. A trailing \p name
-  /// with no value records an error surfaced by finish().
+  /// Value of "name <value>" or "name=<value>" (both spellings accepted,
+  /// freely mixed; "name=" yields the empty string), or nullopt when
+  /// absent. A trailing \p name with no value records an error surfaced by
+  /// finish().
   std::optional<std::string> option(std::string_view name);
 
   /// Numeric option with a default; a non-numeric value records an error.

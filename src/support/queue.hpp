@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file queue.hpp
+/// \brief Bounded multi-producer/multi-consumer FIFO queue.
+///
+/// The admission-control primitive of the serving layer (serve::Server):
+/// producers try_push() requests and treat a full queue as an overload
+/// signal (the request is rejected, not buffered without bound); consumers
+/// pop() until the queue is closed and drained. Contrast with
+/// ThreadPool's internal queue, which is deliberately unbounded — a solver
+/// pool must never drop work it already accepted.
+///
+/// Blocking semantics:
+///  * try_push  — non-blocking; false when full or closed.
+///  * push      — blocks while full; false only when closed.
+///  * pop       — blocks while empty; nullopt once closed *and* drained
+///                (items enqueued before close() are always delivered).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mlsi::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// \p capacity is clamped to at least 1.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues without blocking; false when the queue is full or closed.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until space is available; false when the queue was closed first
+  /// (the item is dropped).
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  [[nodiscard]] std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes every waiter. Already-queued items
+  /// remain poppable; idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mlsi::support

@@ -42,6 +42,25 @@ struct ModulePin {
   int pin_index = -1;  ///< index into SwitchTopology::pins_clockwise()
 };
 
+/// \brief Relabeling-invariant canonical form of a validated spec
+/// (ProblemSpec::canonical_form()).
+///
+/// Two specs that differ only in labeling — renamed modules, permuted
+/// `modules` / `flows` vectors with every index rewritten accordingly,
+/// reordered conflict list or swapped conflict-pair ends — produce the
+/// identical `text`; any semantic change (policy, pin count, a flow or
+/// conflict edge, objective weights, a fixed-binding pin) produces a
+/// different one. The permutations map request labels to canonical labels
+/// so a cached solution can be carried between equivalent specs.
+struct CanonicalForm {
+  /// Deterministic, label-free serialization of the canonicalized spec.
+  std::string text;
+  /// module_to_canonical[i] = canonical index of spec module i.
+  std::vector<int> module_to_canonical;
+  /// flow_to_canonical[f] = canonical index of spec flow f.
+  std::vector<int> flow_to_canonical;
+};
+
 struct ProblemSpec {
   std::string name;
 
@@ -87,6 +106,22 @@ struct ProblemSpec {
       const;
   /// True when the two flows' reagents conflict.
   [[nodiscard]] bool flows_conflict(int flow_a, int flow_b) const;
+
+  /// Pins per side actually synthesized: pins_per_side when nonzero, else
+  /// the smallest crossbar fitting the module count (the Synthesizer's
+  /// auto-size rule, shared so cache keys see the resolved size).
+  [[nodiscard]] int effective_pins_per_side() const {
+    return pins_per_side != 0 ? pins_per_side
+           : num_modules() <= 8   ? 2
+           : num_modules() <= 12  ? 3
+                                  : 4;
+  }
+
+  /// Canonical form for result caching; requires validate() == OK. The
+  /// module labeling is anchored by the policy when it breaks symmetry
+  /// (clockwise: position in clockwise_order; fixed: pin rank) and derived
+  /// by color refinement with individualization otherwise (unfixed).
+  [[nodiscard]] CanonicalForm canonical_form() const;
 
   /// Full structural validation; see file comment for the rules.
   [[nodiscard]] Status validate() const;

@@ -11,11 +11,7 @@ namespace mlsi::synth {
 
 Synthesizer::Synthesizer(ProblemSpec spec, SynthesisOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
-  const int k = spec_.pins_per_side != 0
-                    ? spec_.pins_per_side
-                    : (spec_.num_modules() <= 8   ? 2
-                       : spec_.num_modules() <= 12 ? 3
-                                                   : 4);
+  const int k = spec_.effective_pins_per_side();
   obs::TraceSpan span("synth.enumerate_paths");
   topo_ = std::make_unique<arch::SwitchTopology>(
       arch::make_crossbar(k, options_.geometry));

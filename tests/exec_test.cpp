@@ -1,7 +1,8 @@
 // Tests for the execution subsystem (support/executor.hpp, the Deadline
-// extensions in support/timer.hpp) and the ArgParser. The ThreadPool /
-// StopToken tests are the ones the ThreadSanitizer build (-DMLSI_SANITIZE=
-// thread) is aimed at.
+// extensions in support/timer.hpp, the BoundedQueue behind serve's
+// admission control) and the ArgParser. The ThreadPool / StopToken /
+// BoundedQueue tests are the ones the ThreadSanitizer build
+// (-DMLSI_SANITIZE=thread) is aimed at.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 
 #include "support/argparse.hpp"
 #include "support/executor.hpp"
+#include "support/queue.hpp"
 #include "support/timer.hpp"
 
 namespace mlsi::support {
@@ -212,6 +214,130 @@ TEST(ArgParserTest, NegativeNumbersAreNotOptions) {
   ArgParser args(static_cast<int>(argv.size()), argv.data());
   EXPECT_DOUBLE_EQ(args.number("--time-limit", 0.0), -1.0);
   EXPECT_TRUE(args.finish(1).ok());
+}
+
+TEST(ArgParserTest, EqualsFormSuppliesTheValue) {
+  const auto argv = argv_of({"tool", "--engine=iqp", "--time-limit=2.5",
+                             "case.json"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.option("--engine").value_or(""), "iqp");
+  EXPECT_DOUBLE_EQ(args.number("--time-limit", 120.0), 2.5);
+  ASSERT_TRUE(args.finish(1).ok());
+  EXPECT_EQ(args.positionals().front(), "case.json");
+}
+
+TEST(ArgParserTest, EqualsAndSpacedFormsMixWithLastWins) {
+  const auto argv = argv_of({"tool", "--engine", "cp", "--engine=iqp"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.option("--engine").value_or(""), "iqp");
+  EXPECT_TRUE(args.finish(0).ok());
+
+  const auto argv2 = argv_of({"tool", "--engine=iqp", "--engine", "cp"});
+  ArgParser args2(static_cast<int>(argv2.size()), argv2.data());
+  EXPECT_EQ(args2.option("--engine").value_or(""), "cp");
+  EXPECT_TRUE(args2.finish(0).ok());
+}
+
+TEST(ArgParserTest, EqualsWithEmptyValueIsTheEmptyString) {
+  const auto argv = argv_of({"tool", "--svg="});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  const auto svg = args.option("--svg");
+  ASSERT_TRUE(svg.has_value());
+  EXPECT_EQ(*svg, "");
+  EXPECT_TRUE(args.finish(0).ok());
+}
+
+TEST(ArgParserTest, UnknownEqualsOptionIsAnError) {
+  const auto argv = argv_of({"tool", "--frobnicate=1"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  const Status s = args.finish(0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--frobnicate"), std::string::npos);
+}
+
+TEST(ArgParserTest, EqualsValueMayContainEquals) {
+  const auto argv = argv_of({"tool", "--define=key=value"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.option("--define").value_or(""), "key=value");
+  EXPECT_TRUE(args.finish(0).ok());
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: the admission-control signal
+  EXPECT_EQ(queue.size(), 2u);
+
+  ASSERT_EQ(queue.pop().value_or(-1), 1);
+  EXPECT_TRUE(queue.try_push(3));  // pop made room
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // closed: rejects new work...
+  EXPECT_EQ(queue.pop().value_or(-1), 1);  // ...but delivers what it accepted
+  EXPECT_EQ(queue.pop().value_or(-1), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilAnItemArrives) {
+  BoundedQueue<int> queue(1);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(queue.try_push(42));
+  });
+  EXPECT_EQ(queue.pop().value_or(-1), 42);  // blocks until the push lands
+  producer.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&queue] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();
+  consumer.join();
+}
+
+// TSan target: every item pushed by any producer reaches exactly one
+// consumer, through a deliberately tiny queue to force blocking on both
+// sides.
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(2);
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &sum, &received] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        received.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
 }
 
 }  // namespace

@@ -1,0 +1,509 @@
+// The serving stack: sharded LRU semantics, JSONL persistence, request
+// coalescing, admission control, and the differential guarantee that a
+// cached answer is byte-identical to a fresh solve — including across spec
+// relabelings. The concurrency tests here are part of the TSan leg in
+// scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cases/artificial.hpp"
+#include "io/case_io.hpp"
+#include "serve/cache.hpp"
+#include "serve/canonical.hpp"
+#include "serve/server.hpp"
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace mlsi::serve {
+namespace {
+
+CacheKey key_of(const std::string& text) {
+  return CacheKey{fnv1a64(text), text};
+}
+
+CachedResult value_of(double objective) {
+  CachedResult value;
+  value.objective = objective;
+  value.num_sets = 1;
+  value.binding = {0, 1};
+  value.flows = {{0, 0}};
+  value.stats.engine = "test";
+  value.stats.proven_optimal = true;
+  return value;
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache(2, 1);
+  cache.insert(key_of("a"), value_of(1.0));
+  cache.insert(key_of("b"), value_of(2.0));
+  ASSERT_NE(cache.lookup(key_of("a")), nullptr);  // promotes "a"
+  cache.insert(key_of("c"), value_of(3.0));       // evicts "b"
+
+  EXPECT_EQ(cache.lookup(key_of("b")), nullptr);
+  const auto a = cache.lookup(key_of("a"));
+  const auto c = cache.lookup(key_of("c"));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(a->objective, 1.0);
+  EXPECT_DOUBLE_EQ(c->objective, 3.0);
+
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.insertions, 3);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2, 1);
+  cache.insert(key_of("a"), value_of(1.0));
+  cache.insert(key_of("a"), value_of(9.0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const auto a = cache.lookup(key_of("a"));
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->objective, 9.0);
+}
+
+TEST(ResultCacheTest, CapacityZeroDisablesTheCache) {
+  ResultCache cache(0, 8);
+  cache.insert(key_of("a"), value_of(1.0));
+  EXPECT_EQ(cache.lookup(key_of("a")), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, HashCollisionIsAMissNotAWrongAnswer) {
+  ResultCache cache(8, 1);
+  const CacheKey real{42, "the real key"};
+  const CacheKey impostor{42, "same hash, different problem"};
+  cache.insert(real, value_of(1.0));
+  EXPECT_EQ(cache.lookup(impostor), nullptr);
+  ASSERT_NE(cache.lookup(real), nullptr);
+}
+
+TEST(ResultCacheTest, EvictionDoesNotInvalidateHandedOutEntries) {
+  ResultCache cache(1, 1);
+  cache.insert(key_of("a"), value_of(1.0));
+  const auto held = cache.lookup(key_of("a"));
+  ASSERT_NE(held, nullptr);
+  cache.insert(key_of("b"), value_of(2.0));  // evicts "a"
+  EXPECT_EQ(cache.lookup(key_of("a")), nullptr);
+  EXPECT_DOUBLE_EQ(held->objective, 1.0);  // still readable
+}
+
+// TSan target: concurrent lookups and inserts across shards.
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(64, 8);
+  std::atomic<long> found{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &found, t] {
+      Rng rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 200; ++i) {
+        const std::string text =
+            "key" + std::to_string(rng.next_below(96));
+        if (rng.next_bool(1.0 / 3.0)) {
+          cache.insert(key_of(text), value_of(static_cast<double>(i)));
+        } else if (cache.lookup(key_of(text)) != nullptr) {
+          found.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.stats().entries, 64u);
+  EXPECT_GT(found.load(), 0);
+}
+
+class PersistentStoreTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "serve_store_test.jsonl";
+
+  void SetUp() override { std::remove(path_.c_str()); }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(PersistentStoreTest, RoundTripsEntriesAcrossReopen) {
+  {
+    PersistentStore store;
+    const auto replayed =
+        store.open(path_, "build-A", [](CacheKey, CachedResult) {});
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*replayed, 0);
+    ASSERT_TRUE(store.append(key_of("k1"), value_of(1.5)).ok());
+    ASSERT_TRUE(store.append(key_of("k2"), value_of(2.5)).ok());
+    store.close();
+  }
+  {
+    PersistentStore store;
+    std::vector<std::pair<std::string, double>> seen;
+    const auto replayed =
+        store.open(path_, "build-A", [&seen](CacheKey key, CachedResult value) {
+          seen.emplace_back(key.text, value.objective);
+        });
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*replayed, 2);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, "k1");
+    EXPECT_DOUBLE_EQ(seen[0].second, 1.5);
+    EXPECT_EQ(seen[1].first, "k2");
+    EXPECT_DOUBLE_EQ(seen[1].second, 2.5);
+    store.close();
+  }
+}
+
+TEST_F(PersistentStoreTest, CodeVersionMismatchDiscardsTheStore) {
+  {
+    PersistentStore store;
+    ASSERT_TRUE(store.open(path_, "build-A", [](CacheKey, CachedResult) {}).ok());
+    ASSERT_TRUE(store.append(key_of("k1"), value_of(1.0)).ok());
+    store.close();
+  }
+  {
+    PersistentStore store;
+    long sunk = 0;
+    const auto replayed = store.open(
+        path_, "build-B", [&sunk](CacheKey, CachedResult) { ++sunk; });
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*replayed, 0);  // stale build: nothing replayed...
+    EXPECT_EQ(sunk, 0);
+    ASSERT_TRUE(store.append(key_of("k9"), value_of(9.0)).ok());
+    store.close();
+  }
+  {
+    PersistentStore store;
+    long sunk = 0;  // ...and the file was rewritten for the new build.
+    const auto replayed = store.open(
+        path_, "build-B", [&sunk](CacheKey, CachedResult) { ++sunk; });
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*replayed, 1);
+    EXPECT_EQ(sunk, 1);
+    store.close();
+  }
+}
+
+TEST_F(PersistentStoreTest, TornTailIsDroppedOnReplay) {
+  {
+    PersistentStore store;
+    ASSERT_TRUE(store.open(path_, "build-A", [](CacheKey, CachedResult) {}).ok());
+    ASSERT_TRUE(store.append(key_of("k1"), value_of(1.0)).ok());
+    store.close();
+  }
+  {
+    // Simulate a crash mid-append: an unterminated, unparsable final line.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"key\":\"k2\",\"result\":{\"obj", f);
+    std::fclose(f);
+  }
+  PersistentStore store;
+  long sunk = 0;
+  const auto replayed =
+      store.open(path_, "build-A", [&sunk](CacheKey, CachedResult) { ++sunk; });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 1);
+  EXPECT_EQ(sunk, 1);
+  store.close();
+}
+
+/// A small always-feasible spec (the demo case's shape).
+synth::ProblemSpec demo_spec() {
+  synth::ProblemSpec spec;
+  spec.name = "serve-demo";
+  spec.pins_per_side = 2;
+  spec.modules = {"in0", "in1", "out0", "out1"};
+  spec.flows = {{0, 2}, {1, 3}};
+  spec.conflicts = {{0, 1}};
+  spec.policy = synth::BindingPolicy::kUnfixed;
+  return spec;
+}
+
+/// The demo spec under a fixed module/flow relabeling (reversed orders).
+synth::ProblemSpec demo_spec_relabeled() {
+  synth::ProblemSpec spec;
+  spec.name = "serve-demo-relabeled";
+  spec.pins_per_side = 2;
+  // Old module m is now index 3 - m; old flow f is now index 1 - f.
+  spec.modules = {"d", "c", "b", "a"};
+  spec.flows = {{2, 0}, {3, 1}};
+  spec.conflicts = {{1, 0}};
+  spec.policy = synth::BindingPolicy::kUnfixed;
+  return spec;
+}
+
+ServeOptions quiet_options() {
+  ServeOptions options;
+  options.jobs = 2;
+  options.queue_depth = 16;
+  options.default_time_limit_s = 30.0;
+  return options;
+}
+
+TEST(ServerTest, SecondIdenticalRequestIsACacheHit) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+
+  const ServeResponse fresh = server.handle(req);
+  ASSERT_EQ(fresh.outcome, ServeOutcome::kOk) << fresh.error;
+  EXPECT_FALSE(fresh.cached);
+
+  req.id = "r2";
+  const ServeResponse hit = server.handle(req);
+  ASSERT_EQ(hit.outcome, ServeOutcome::kOk) << hit.error;
+  EXPECT_TRUE(hit.cached);
+
+  const Server::Counters c = server.counters();
+  EXPECT_EQ(c.requests, 2);
+  EXPECT_EQ(c.hits, 1);
+  EXPECT_EQ(c.misses, 1);
+  EXPECT_EQ(c.solves, 1);
+}
+
+// The differential guarantee: a cached answer is byte-identical to the
+// fresh one (the cache stores the original solve's stats, so even
+// runtime_s matches), and both match a direct Synthesizer run.
+TEST(ServerTest, CachedResponseIsByteIdenticalToFresh) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+
+  const ServeResponse fresh = server.handle(req);
+  const ServeResponse hit = server.handle(req);
+  ASSERT_EQ(fresh.outcome, ServeOutcome::kOk) << fresh.error;
+  ASSERT_EQ(hit.outcome, ServeOutcome::kOk) << hit.error;
+  ASSERT_TRUE(hit.cached);
+  EXPECT_EQ(fresh.result.dump(), hit.result.dump());
+
+  // Against an independent solve only runtime_s (that solve's own wall
+  // time) may differ; everything else must match byte for byte.
+  synth::Synthesizer direct(demo_spec(), server.options().synth);
+  const auto solved = direct.synthesize();
+  ASSERT_TRUE(solved.ok());
+  json::Value direct_doc =
+      io::result_to_json(direct.topology(), direct.spec(), *solved);
+  json::Value served_doc = fresh.result;
+  direct_doc.as_object().erase("runtime_s");
+  served_doc.as_object().erase("runtime_s");
+  EXPECT_EQ(served_doc.dump(), direct_doc.dump());
+}
+
+TEST(ServerTest, RelabeledSpecHitsTheSameEntry) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+  ASSERT_EQ(server.handle(req).outcome, ServeOutcome::kOk);
+
+  req.id = "r2";
+  req.spec = demo_spec_relabeled();
+  const ServeResponse hit = server.handle(req);
+  ASSERT_EQ(hit.outcome, ServeOutcome::kOk) << hit.error;
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(server.counters().solves, 1);
+}
+
+// The rehydration path in full: solve A, cache it canonically, look it up
+// through relabeled B's canonicalization, carry the value into B's
+// labeling, and let the flood simulator verify the answer really is a
+// contamination-free switch *for B*.
+TEST(ServerTest, RehydratedRelabeledResultPassesSimulation) {
+  const synth::ProblemSpec spec_a = demo_spec();
+  const synth::ProblemSpec spec_b = demo_spec_relabeled();
+  const synth::SynthesisOptions options;
+
+  const CanonicalRequest canon_a = canonicalize(spec_a, options, "v");
+  const CanonicalRequest canon_b = canonicalize(spec_b, options, "v");
+  ASSERT_EQ(canon_a.key.text, canon_b.key.text);
+
+  synth::Synthesizer synth_a(spec_a, options);
+  const auto solved = synth_a.synthesize();
+  ASSERT_TRUE(solved.ok());
+
+  ResultCache cache(16, 1);
+  cache.insert(canon_a.key, to_cached(*solved, canon_a));
+  const auto entry = cache.lookup(canon_b.key);
+  ASSERT_NE(entry, nullptr);
+
+  synth::Synthesizer synth_b(spec_b, options);
+  const synth::SynthesisResult rehydrated =
+      to_result(*entry, canon_b, synth_b.paths());
+  EXPECT_DOUBLE_EQ(rehydrated.objective, solved->objective);
+
+  const sim::ValidationReport report = sim::validate(
+      sim::make_program(synth_b.topology(), spec_b, rehydrated));
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// TSan target: N concurrent identical misses must coalesce onto one solve.
+TEST(ServerTest, ConcurrentIdenticalRequestsCoalesce) {
+  Server server(quiet_options());
+  constexpr int kClients = 8;
+  std::vector<ServeResponse> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &responses, c] {
+      ServeRequest req;
+      req.id = "r" + std::to_string(c);
+      req.spec = demo_spec();
+      responses[static_cast<std::size_t>(c)] = server.handle(req);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::string first = responses[0].result.dump();
+  for (const ServeResponse& resp : responses) {
+    ASSERT_EQ(resp.outcome, ServeOutcome::kOk) << resp.error;
+    EXPECT_EQ(resp.result.dump(), first);  // everyone got the same answer
+  }
+  const Server::Counters c = server.counters();
+  EXPECT_EQ(c.requests, kClients);
+  EXPECT_EQ(c.solves, 1);
+  EXPECT_EQ(c.misses, 1);
+  EXPECT_EQ(c.hits + c.coalesced, kClients - 1);
+}
+
+TEST(ServerTest, FullQueueRejectsInsteadOfBuffering) {
+  ServeOptions options;
+  options.jobs = 1;
+  options.queue_depth = 1;
+  options.cache_capacity = 0;  // no coalescing: every request wants a solve
+  Server server(options);
+
+  constexpr int kClients = 8;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &rejected, c] {
+      cases::ArtificialParams p;
+      p.pins_per_side = 3;
+      p.num_inlets = 3;
+      p.num_outlets = 5;
+      p.seed = 500 + static_cast<std::uint64_t>(c);  // distinct specs
+      ServeRequest req;
+      req.id = "r" + std::to_string(c);
+      req.spec = cases::make_artificial(p);
+      const ServeResponse resp = server.handle(req);
+      if (resp.outcome == ServeOutcome::kRejected) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Server::Counters c = server.counters();
+  EXPECT_GE(c.rejected_queue, 1);
+  EXPECT_EQ(c.rejected_queue, rejected.load());
+  EXPECT_EQ(c.requests, kClients);
+}
+
+TEST(ServerTest, ExpiredDeadlineIsRejectedAtDequeue) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+  req.time_limit_s = 1e-9;  // expired before any worker can pick it up
+
+  const ServeResponse resp = server.handle(req);
+  EXPECT_EQ(resp.outcome, ServeOutcome::kRejected);
+  EXPECT_EQ(server.counters().rejected_deadline, 1);
+  EXPECT_EQ(server.counters().solves, 0);
+}
+
+TEST(ServerTest, InvalidSpecIsAnError) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";  // empty spec: no modules, no flows
+  const ServeResponse resp = server.handle(req);
+  EXPECT_EQ(resp.outcome, ServeOutcome::kError);
+  EXPECT_FALSE(resp.error.empty());
+}
+
+TEST(ServerTest, PersistedCacheSurvivesRestart) {
+  const std::string path = ::testing::TempDir() + "serve_persist_test.jsonl";
+  std::remove(path.c_str());
+  ServeOptions options = quiet_options();
+  options.persist_path = path;
+  options.code_version = "test-build";
+
+  std::string fresh_doc;
+  {
+    Server server(options);
+    ServeRequest req;
+    req.id = "r1";
+    req.spec = demo_spec();
+    const ServeResponse resp = server.handle(req);
+    ASSERT_EQ(resp.outcome, ServeOutcome::kOk) << resp.error;
+    fresh_doc = resp.result.dump();
+    EXPECT_EQ(server.counters().solves, 1);
+  }  // destructor drains and closes the store
+
+  Server server(options);
+  EXPECT_GE(server.counters().persist_replayed, 1);
+  ServeRequest req;
+  req.id = "r2";
+  req.spec = demo_spec();
+  const ServeResponse resp = server.handle(req);
+  ASSERT_EQ(resp.outcome, ServeOutcome::kOk) << resp.error;
+  EXPECT_TRUE(resp.cached);
+  EXPECT_EQ(server.counters().solves, 0);  // answered without solving
+  EXPECT_EQ(resp.result.dump(), fresh_doc);
+  std::remove(path.c_str());
+}
+
+TEST(ServerTest, StreamAnswersEveryLineIncludingMalformedOnes) {
+  Server server(quiet_options());
+  const json::Value case_doc = io::spec_to_json(demo_spec());
+  std::ostringstream requests;
+  requests << "{\"id\":\"a\",\"case\":" << case_doc.dump() << "}\n"
+           << "{\"id\":\"b\",\"case\":" << case_doc.dump() << "}\n"
+           << "this is not json\n";
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  ASSERT_TRUE(server.run_stream(in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int ok_lines = 0;
+  int error_lines = 0;
+  while (std::getline(lines, line)) {
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    const std::string status = doc->get_string("status", "");
+    if (status == "ok") {
+      ++ok_lines;
+    } else {
+      ++error_lines;
+      EXPECT_EQ(status, "error");
+    }
+  }
+  EXPECT_EQ(ok_lines, 2);
+  EXPECT_EQ(error_lines, 1);
+}
+
+TEST(ServeResponseTest, JsonShapeMatchesTheDocumentedProtocol) {
+  ServeResponse resp;
+  resp.id = "r7";
+  resp.outcome = ServeOutcome::kOk;
+  resp.cached = true;
+  resp.wall_us = 12.5;
+  resp.result = json::Value{json::Object{}};
+  const json::Value doc = response_to_json(resp);
+  EXPECT_EQ(doc.get_string("id", ""), "r7");
+  EXPECT_EQ(doc.get_string("status", ""), "ok");
+  EXPECT_TRUE(doc.get_bool("cached", false));
+  EXPECT_FALSE(doc.get_bool("coalesced", true));
+  EXPECT_NE(doc.find("result"), nullptr);
+}
+
+}  // namespace
+}  // namespace mlsi::serve

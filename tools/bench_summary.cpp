@@ -6,11 +6,20 @@
 // commits show up in plain `git diff` of the committed file.
 //
 //   bench_summary [--dir bench_out] [--out BENCH_summary.json]
+//                 [--baseline FILE] [--max-regression R]
 //
 // Output is deterministic for a given set of inputs: objects serialize
 // with sorted keys and no timestamps are recorded.
+//
+// With --baseline (typically the committed summary from the previous git
+// SHA), each bench's total_wall_ms is compared against the baseline entry
+// with the *same record count* (a partial smoke run never compares against
+// a full sweep). A bench more than R (default 0.5 = +50%) slower than its
+// baseline is reported and the exit code is 3; scripts/check.sh runs this
+// guard when a committed baseline exists.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -45,15 +54,22 @@ long count_true(const mlsi::json::Array& records, std::string_view key) {
 int main(int argc, char** argv) {
   std::string dir = "bench_out";
   std::string out_path = "BENCH_summary.json";
+  std::string baseline_path;
+  double max_regression = 0.5;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg{argv[i]};
     if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_summary [--dir bench_out] [--out FILE]\n");
+                   "usage: bench_summary [--dir bench_out] [--out FILE] "
+                   "[--baseline FILE] [--max-regression R]\n");
       return 2;
     }
   }
@@ -114,7 +130,7 @@ int main(int argc, char** argv) {
   summary["schema"] = Value{1};
   summary["git_sha"] = Value{git_sha};
   summary["build_type"] = Value{build_type};
-  summary["benches"] = Value{std::move(benches)};
+  summary["benches"] = Value{benches};
 
   const mlsi::Status written =
       mlsi::json::write_file(out_path, Value{std::move(summary)});
@@ -124,5 +140,49 @@ int main(int argc, char** argv) {
   }
   std::printf("bench_summary: %zu bench file(s) -> %s\n", files.size(),
               out_path.c_str());
+
+  if (baseline_path.empty()) return 0;
+  auto baseline = mlsi::json::parse_file(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_summary: cannot read baseline %s: %s\n",
+                 baseline_path.c_str(),
+                 baseline.status().to_string().c_str());
+    return 1;
+  }
+  const Value* base_benches = baseline->find("benches");
+  if (base_benches == nullptr || !base_benches->is_object()) {
+    std::fprintf(stderr, "bench_summary: baseline %s has no 'benches'\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  int regressions = 0;
+  for (const auto& [bench, entry] : benches) {
+    const Value* base = base_benches->find(bench);
+    if (base == nullptr) continue;  // new bench: nothing to compare
+    // Compare like with like only: a smoke run records fewer cases than a
+    // full sweep and must not be judged against it.
+    if (entry.get_number("records", -1.0) !=
+        base->get_number("records", -2.0)) {
+      continue;
+    }
+    const double base_ms = base->get_number("total_wall_ms", 0.0);
+    const double new_ms = entry.get_number("total_wall_ms", 0.0);
+    if (base_ms <= 0.0) continue;
+    const double ratio = new_ms / base_ms;
+    if (ratio > 1.0 + max_regression) {
+      std::fprintf(stderr,
+                   "bench_summary: REGRESSION %s: %.1f ms -> %.1f ms "
+                   "(%.0f%% > +%.0f%% allowed, baseline %s)\n",
+                   bench.c_str(), base_ms, new_ms, (ratio - 1.0) * 100.0,
+                   max_regression * 100.0,
+                   baseline->get_string("git_sha", "?").c_str());
+      ++regressions;
+    }
+  }
+  if (regressions > 0) return 3;
+  std::printf("bench_summary: no wall-time regressions vs %s (+%.0f%%)\n",
+              baseline->get_string("git_sha", "?").c_str(),
+              max_regression * 100.0);
   return 0;
 }

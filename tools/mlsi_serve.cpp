@@ -1,0 +1,118 @@
+// mlsi_serve — synthesis-as-a-service daemon.
+//
+// Reads JSONL requests ({"id": ..., "case": {<case document>},
+// "time_limit_s": N}) from stdin (default) or a Unix domain socket and
+// writes one JSONL response per request. Repeated specs — including
+// flow/module relabelings of an already-solved spec — are answered from a
+// canonicalizing LRU cache; concurrent identical misses share one solve;
+// overload rejects instead of queueing without bound.
+//
+// Usage:
+//   mlsi_serve [options] < requests.jsonl > responses.jsonl
+//
+// Options (--flag value and --flag=value both work):
+//   --socket <path>       serve a Unix domain socket instead of stdin
+//   --engine <name>       synthesis engine (default cp)
+//   --jobs <n>            solver workers (default 0 = hardware threads)
+//   --cache-size <n>      LRU capacity in entries (default 1024; 0 disables
+//                         caching and coalescing)
+//   --shards <n>          cache shard count (default 8)
+//   --persist <path>      append-only on-disk cache, replayed at startup
+//   --queue-depth <n>     admission bound on queued solves (default 64)
+//   --time-limit <s>      default per-request budget (default 120)
+//   --metrics-out <path>  write the metrics snapshot (incl. serve.*) on exit
+//   --quiet               no summary on stderr
+//
+// Exit codes: 0 clean shutdown, 1 startup/usage error.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "support/argparse.hpp"
+#include "synth/engine.hpp"
+
+#ifndef MLSI_GIT_SHA
+#define MLSI_GIT_SHA "unknown"
+#endif
+
+namespace {
+
+using namespace mlsi;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket F] [--engine cp|iqp|portfolio] [--jobs N]\n"
+               "       [--cache-size N] [--shards N] [--persist F]\n"
+               "       [--queue-depth N] [--time-limit S] [--metrics-out F]\n"
+               "       [--quiet]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(argc, argv);
+  serve::ServeOptions options;
+  options.code_version = MLSI_GIT_SHA;
+
+  const std::string socket_path = args.option("--socket").value_or("");
+  if (const auto v = args.option("--engine")) {
+    const auto engine = synth::engine_from_string(*v);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "error: %s\n", engine.status().to_string().c_str());
+      return usage(argv[0]);
+    }
+    options.synth.engine = *v;
+  }
+  options.jobs = static_cast<int>(args.number("--jobs", 0));
+  options.cache_capacity =
+      static_cast<std::size_t>(args.number("--cache-size", 1024));
+  options.cache_shards = static_cast<int>(args.number("--shards", 8));
+  options.persist_path = args.option("--persist").value_or("");
+  options.queue_depth =
+      static_cast<std::size_t>(args.number("--queue-depth", 64));
+  options.default_time_limit_s = args.number("--time-limit", 120.0);
+  const std::string metrics_path = args.option("--metrics-out").value_or("");
+  const bool quiet = args.flag("--quiet");
+  if (const Status parsed = args.finish(0); !parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.to_string().c_str());
+    return usage(argv[0]);
+  }
+
+  if (!metrics_path.empty()) obs::Metrics::instance().enable();
+
+  serve::Server server(options);
+  const Status served = socket_path.empty()
+                            ? server.run_stream(std::cin, std::cout)
+                            : server.run_socket(socket_path);
+  if (!served.ok()) {
+    std::fprintf(stderr, "error: %s\n", served.to_string().c_str());
+    return 1;
+  }
+
+  const serve::Server::Counters c = server.counters();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "mlsi_serve: %ld requests — %ld hits, %ld misses, "
+                 "%ld coalesced, %ld rejected (%ld deadline), %ld solves, "
+                 "%ld replayed from %s\n",
+                 c.requests, c.hits, c.misses, c.coalesced,
+                 c.rejected_queue + c.rejected_deadline, c.rejected_deadline,
+                 c.solves,
+                 c.persist_replayed,
+                 options.persist_path.empty() ? "(no store)"
+                                              : options.persist_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::Metrics::instance().disable();
+    const Status s = obs::Metrics::instance().write(metrics_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", s.to_string().c_str());
+    }
+  }
+  return 0;
+}
