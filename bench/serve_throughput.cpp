@@ -7,11 +7,20 @@
 // requests repeat a previously solved spec, so they are answered from the
 // canonicalizing LRU without touching a solver).
 //
-//   serve_throughput [--smoke] [--requests N] [--clients N]
+//   serve_throughput [--smoke] [--requests N] [--clients N] [--socket PATH]
 //
 // --smoke shrinks the request count and *asserts* the 10x speedup (non-zero
 // exit on regression); scripts/check.sh runs it.
+//
+// --socket PATH switches to client mode: instead of instantiating an
+// in-process Server, the same zipf workload is serialized as JSONL and
+// driven through a live mlsi_serve daemon's Unix socket (one connection
+// per client thread). Hits are counted from the responses' "cached" flags.
+// With --smoke, client mode asserts that every request succeeded and that
+// the hit rate cleared 50% — scripts/check.sh uses it as the load leg of
+// the live-service check.
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <cmath>
@@ -20,6 +29,8 @@
 
 #include "bench_util.hpp"
 #include "cases/artificial.hpp"
+#include "io/case_io.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "support/argparse.hpp"
 #include "support/rng.hpp"
@@ -156,6 +167,101 @@ void record(const std::string& label, int jobs, const RunStats& s) {
   bench::Telemetry::instance().record(std::move(rec));
 }
 
+/// Client mode: the zipf workload over a live daemon's Unix socket.
+int drive_socket(const std::string& socket_path,
+                 const std::vector<synth::ProblemSpec>& specs,
+                 long num_requests, int clients, bool smoke) {
+  // Serialize each spec's "case" document once; per-request lines reuse it.
+  std::vector<std::string> case_docs;
+  case_docs.reserve(specs.size());
+  for (const synth::ProblemSpec& spec : specs) {
+    case_docs.push_back(io::spec_to_json(spec).dump());
+  }
+
+  const Zipf zipf(static_cast<int>(specs.size()), 1.1);
+  Rng rng(42);
+  std::vector<int> sequence(static_cast<std::size_t>(num_requests));
+  for (int& pick : sequence) pick = zipf.sample(rng);
+
+  std::atomic<long> ok{0};
+  std::atomic<long> cached{0};
+  std::atomic<long> failed{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::SocketClient::connect(socket_path);
+      if (!client.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", c,
+                     client.status().to_string().c_str());
+        failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = static_cast<std::size_t>(c); i < sequence.size();
+           i += static_cast<std::size_t>(clients)) {
+        const std::string line =
+            cat("{\"id\":\"q", i, "\",\"time_limit_s\":60,\"case\":",
+                case_docs[static_cast<std::size_t>(sequence[i])], "}");
+        if (Status s = client->send_line(line); !s.ok()) {
+          std::fprintf(stderr, "client %d send: %s\n", c,
+                       s.to_string().c_str());
+          failed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        auto reply = client->recv_line();
+        if (!reply.ok()) {
+          std::fprintf(stderr, "client %d recv: %s\n", c,
+                       reply.status().to_string().c_str());
+          failed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        const auto doc = json::parse(*reply);
+        const json::Value* status =
+            doc.ok() && doc->is_object() ? doc->find("status") : nullptr;
+        if (status != nullptr && status->is_string() &&
+            status->as_string() == "ok") {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          const json::Value* hit = doc->find("cached");
+          if (hit != nullptr && hit->is_bool() && hit->as_bool()) {
+            cached.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const double wall_ms = wall.millis();
+  const double rps =
+      static_cast<double>(ok.load()) / (wall_ms > 0 ? wall_ms / 1000.0 : 1.0);
+  const double hit_rate =
+      ok.load() > 0
+          ? static_cast<double>(cached.load()) / static_cast<double>(ok.load())
+          : 0.0;
+  std::printf("socket %s: %ld/%ld ok, %.0f req/s, %.1f%% hit rate, "
+              "%ld failed\n",
+              socket_path.c_str(), ok.load(), num_requests, rps,
+              hit_rate * 100.0, failed.load());
+  if (smoke) {
+    if (failed.load() > 0 || ok.load() != num_requests) {
+      std::fprintf(stderr, "FAIL: %ld request(s) did not succeed\n",
+                   num_requests - ok.load());
+      return 1;
+    }
+    if (hit_rate < 0.5) {
+      std::fprintf(stderr, "FAIL: socket hit rate %.1f%% (< 50%%)\n",
+                   hit_rate * 100.0);
+      return 1;
+    }
+    std::printf("smoke serve (socket): all ok, %.1f%% hit rate\n",
+                hit_rate * 100.0);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,10 +270,21 @@ int main(int argc, char** argv) {
   const long num_requests =
       static_cast<long>(args.number("--requests", smoke ? 600 : 1000));
   const int clients = static_cast<int>(args.number("--clients", 8));
+  const std::string socket_path = args.option("--socket").value_or("");
   if (const Status parsed = args.finish(0); !parsed.ok()) {
     std::fprintf(stderr, "usage: serve_throughput [--smoke] [--requests N] "
-                         "[--clients N]\n");
+                         "[--clients N] [--socket PATH]\n");
     return 2;
+  }
+
+  if (!socket_path.empty()) {
+    const std::vector<synth::ProblemSpec> socket_specs = make_workload_specs();
+    if (socket_specs.empty()) {
+      std::fprintf(stderr, "FAIL: no solvable workload specs\n");
+      return 1;
+    }
+    return drive_socket(socket_path, socket_specs, num_requests, clients,
+                        smoke);
   }
 
   bench::init("serve_throughput");

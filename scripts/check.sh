@@ -3,11 +3,14 @@
 # known optimum, perf smokes (simplex pricing, serving cache speedup), an
 # observability smoke run (trace/metrics/search-log formats validated by
 # obs_check), a serving replay (persistent cache across a daemon restart),
-# a bench wall-time regression guard against the committed summary, the
-# LP/MILP tests again under AddressSanitizer (the sparse LU and eta-file
-# code is pointer-heavy), and the concurrency tests (thread pool, stop
-# tokens, portfolio races, serve cache/coalescing, obs emission) again
-# under ThreadSanitizer.
+# a live-service smoke (socket daemon + serve_throughput client load +
+# mlsi_top + SIGTERM drain, all obs artifacts validated), a bench
+# wall-time regression guard against the committed summary, the LP/MILP
+# tests and the obs flight recorder again under AddressSanitizer (the
+# sparse LU and eta-file code is pointer-heavy; the recorder's dump path
+# formats into fixed buffers), and the concurrency tests (thread pool,
+# stop tokens, portfolio races, serve cache/coalescing, obs emission,
+# metrics snapshots under mutation) again under ThreadSanitizer.
 #
 #   scripts/check.sh            # from the repo root
 #
@@ -73,6 +76,49 @@ build/tools/obs_check \
     --metrics "$obs_dir/serve_metrics.json" \
     --schema scripts/metrics_schema.json
 
+# Live service smoke: a real daemon on a Unix socket, loaded through
+# serve_throughput's client mode (asserts every request ok + >= 50% hit
+# rate from the responses' "cached" flags), monitored by mlsi_top (the
+# live metrics snapshot it saves must validate and must carry populated
+# serve.stage.* histograms), then drained with SIGTERM — exit 0 and every
+# flushed obs artifact (metrics, trace, flight recorder) must validate.
+cmake --build build -j "$(nproc)" --target mlsi_serve_cli mlsi_top obs_check
+live_sock="$obs_dir/live.sock"
+build/tools/mlsi_serve --socket "$live_sock" --jobs 4 --quiet \
+    --metrics-out "$obs_dir/live_metrics_exit.json" \
+    --trace-out "$obs_dir/live_trace.json" \
+    --flight-rec "$obs_dir/live_flight.jsonl" &
+live_pid=$!
+trap 'kill -9 "$live_pid" 2>/dev/null || true; rm -rf "$obs_dir"' EXIT
+i=0
+while [ ! -S "$live_sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "check.sh: mlsi_serve never opened $live_sock" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+build/bench/serve_throughput --smoke --socket "$live_sock"
+build/tools/mlsi_top --socket "$live_sock" --once --json \
+    --metrics-out "$obs_dir/live_metrics.json" > "$obs_dir/live_top.json"
+grep -q '"solve_us":{"count":' "$obs_dir/live_top.json" || {
+    echo "check.sh: mlsi_top reported no solve-stage percentiles" >&2; exit 1; }
+build/tools/obs_check \
+    --metrics "$obs_dir/live_metrics.json" --schema scripts/metrics_schema.json
+kill -TERM "$live_pid"
+live_rc=0
+wait "$live_pid" || live_rc=$?
+if [ "$live_rc" -ne 0 ]; then
+    echo "check.sh: mlsi_serve exited $live_rc after SIGTERM (want 0)" >&2
+    exit 1
+fi
+build/tools/obs_check \
+    --metrics "$obs_dir/live_metrics_exit.json" \
+    --schema scripts/metrics_schema.json \
+    --trace "$obs_dir/live_trace.json" \
+    --flight-rec "$obs_dir/live_flight.jsonl"
+
 # Bench wall-time regression guard: compare fresh bench_out telemetry
 # against the committed summary from the previous SHA (exit 3 past +50%;
 # benches with differing record counts are skipped).
@@ -84,10 +130,13 @@ fi
 
 cmake -B build-asan -S . -DMLSI_SANITIZE=address
 cmake --build build-asan -j "$(nproc)" \
-    --target opt_simplex_test opt_cuts_test opt_milp_test
+    --target opt_simplex_test opt_cuts_test opt_milp_test obs_test
 build-asan/tests/opt_simplex_test
 build-asan/tests/opt_cuts_test
 build-asan/tests/opt_milp_test
+# Flight recorder under ASan: ring wraparound, name sanitization, and the
+# crash-handler dump (the death test's signal path) with full heap checking.
+build-asan/tests/obs_test
 
 cmake -B build-tsan -S . -DMLSI_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \

@@ -39,6 +39,37 @@ std::vector<long> Histogram::counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  return estimate_quantile(edges_, counts(), q);
+}
+
+double estimate_quantile(const std::vector<double>& edges,
+                         const std::vector<long>& counts, double q) {
+  // Rank against the counts vector's own total, not a separately loaded
+  // count(): under concurrent observe() the two can disagree, and the
+  // bucket sum is the one the scan below is consistent with.
+  long total = 0;
+  for (const long c : counts) total += std::max(c, 0L);
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(std::max(counts[i], 0L));
+    if (in_bucket > 0.0 && cum + in_bucket >= target) {
+      if (i >= edges.size()) {  // overflow bucket: clamp to last finite edge
+        return edges.empty() ? 0.0 : edges.back();
+      }
+      const double lo = i == 0 ? 0.0 : edges[i - 1];
+      const double hi = edges[i];
+      const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return edges.empty() ? 0.0 : edges.back();
+}
+
 void Series::record(double value) {
   record_at(static_cast<double>(support::monotonic_us()) / 1e6, value);
 }
@@ -125,7 +156,7 @@ bool Metrics::has_series(std::string_view name) const {
 json::Value Metrics::snapshot() const {
   std::lock_guard lock(mutex_);
   json::Object doc;
-  doc["schema"] = json::Value{1};
+  doc["schema"] = json::Value{kMetricsSchemaVersion};
 
   json::Object counters;
   for (const auto& [name, c] : counters_) {
@@ -145,13 +176,22 @@ json::Value Metrics::snapshot() const {
     json::Array edges;
     for (const double e : h->edges()) edges.emplace_back(e);
     ho["edges"] = json::Value{std::move(edges)};
+    const std::vector<long> bucket_counts = h->counts();
     json::Array counts;
-    for (const long c : h->counts()) {
+    for (const long c : bucket_counts) {
       counts.emplace_back(static_cast<double>(c));
     }
     ho["counts"] = json::Value{std::move(counts)};
     ho["count"] = json::Value{static_cast<double>(h->count())};
     ho["sum"] = json::Value{h->sum()};
+    json::Object quantiles;
+    quantiles["p50"] =
+        json::Value{estimate_quantile(h->edges(), bucket_counts, 0.50)};
+    quantiles["p95"] =
+        json::Value{estimate_quantile(h->edges(), bucket_counts, 0.95)};
+    quantiles["p99"] =
+        json::Value{estimate_quantile(h->edges(), bucket_counts, 0.99)};
+    ho["quantiles"] = json::Value{std::move(quantiles)};
     histograms[name] = json::Value{std::move(ho)};
   }
   doc["histograms"] = json::Value{std::move(histograms)};
@@ -167,6 +207,8 @@ json::Value Metrics::snapshot() const {
   doc["series"] = json::Value{std::move(series)};
   return json::Value{std::move(doc)};
 }
+
+std::string Metrics::snapshot_json() const { return snapshot().dump(); }
 
 Status Metrics::write(const std::string& path) const {
   return json::write_file(path, snapshot());

@@ -17,20 +17,25 @@
 /// live forever; references returned by the registry stay valid, so hot
 /// loops may cache them.
 ///
-/// The snapshot() schema (also written by mlsi_synth --metrics-out and
-/// embedded in bench telemetry / the --json result) is:
+/// The snapshot() schema (also written by mlsi_synth --metrics-out,
+/// embedded in bench telemetry / the --json result, and served live by
+/// mlsi_serve's {"cmd":"stats"} endpoint) is:
 /// \code{.json}
 /// {
-///   "schema": 1,
+///   "schema": 2,
 ///   "counters":   {"lp.solves": 42, ...},
 ///   "gauges":     {"...": 1.5, ...},
 ///   "histograms": {"lp.pivot_time_us":
-///                    {"edges": [...], "counts": [...], "count": n, "sum": s}},
+///                    {"edges": [...], "counts": [...], "count": n, "sum": s,
+///                     "quantiles": {"p50": ..., "p95": ..., "p99": ...}}},
 ///   "series":     {"search.incumbent": [[t_seconds, value], ...], ...}
 /// }
 /// \endcode
 /// Histogram "counts" has edges.size() + 1 entries; counts[i] holds
 /// observations v <= edges[i], the final entry the overflow bucket.
+/// Schema history: v1 had no "quantiles"; v2 (this) adds them. Validators
+/// (tools/obs_check) accept any version <= the pinned schema file's, so
+/// old snapshots stay green — the schema only grows.
 
 #include <atomic>
 #include <initializer_list>
@@ -63,6 +68,21 @@ inline void atomic_add(std::atomic<double>& target, double delta) {
 inline bool metrics_enabled() {
   return detail::g_metrics_on.load(std::memory_order_relaxed);
 }
+
+/// Version stamped into snapshot()["schema"] and pinned by
+/// scripts/metrics_schema.json.
+inline constexpr int kMetricsSchemaVersion = 2;
+
+/// Estimates the \p q quantile (q in [0,1]) of a fixed-bucket histogram by
+/// linear interpolation inside the bucket holding the target rank, the
+/// same way Prometheus' histogram_quantile does. \p counts must have
+/// edges.size() + 1 entries (last = overflow). Assumes non-negative
+/// observations (every mlsi histogram records µs or counts), so the first
+/// bucket interpolates from 0. Ranks landing in the overflow bucket clamp
+/// to the last finite edge. Returns 0.0 for an empty histogram.
+[[nodiscard]] double estimate_quantile(const std::vector<double>& edges,
+                                       const std::vector<long>& counts,
+                                       double q);
 
 /// Monotonically increasing count (events, pivots, nodes).
 class Counter {
@@ -102,6 +122,8 @@ class Histogram {
 
   [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
   [[nodiscard]] std::vector<long> counts() const;
+  /// estimate_quantile() over a single coherent load of the buckets.
+  [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] long count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -159,6 +181,11 @@ class Metrics {
   [[nodiscard]] bool has_series(std::string_view name) const;
 
   [[nodiscard]] json::Value snapshot() const;
+  /// snapshot() serialized compactly — the wire form served by
+  /// mlsi_serve's stats endpoint. Thread-safe like snapshot(): the
+  /// registry lock covers the walk, and each instrument read is atomic,
+  /// so this is safe to call while every instrument is being mutated.
+  [[nodiscard]] std::string snapshot_json() const;
   [[nodiscard]] Status write(const std::string& path) const;
 
   /// Zeroes every instrument *in place* (instruments are never destroyed,

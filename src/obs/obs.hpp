@@ -3,17 +3,22 @@
 /// \file obs.hpp
 /// \brief Umbrella header for the observability layer (mlsi::obs).
 ///
-/// Three independent, individually-enabled facilities:
+/// Four independent, individually-enabled facilities:
 ///  * trace.hpp      — thread-aware spans/instants, Chrome trace JSON
 ///  * metrics.hpp    — counters, gauges, histograms, time-stamped series
 ///  * search_log.hpp — JSONL stream of solver search events
+///  * flight_rec.hpp — per-thread ring buffers of recent spans, dumpable
+///                     from a crash signal handler
 ///
-/// All three are off by default and cost one relaxed atomic load per
+/// All four are off by default and cost one relaxed atomic load per
 /// instrumentation site when off. They are enabled by mlsi_synth's
-/// --trace-out / --metrics-out / --search-log flags, by bench::init()
-/// (metrics only), or programmatically. See DESIGN.md "Observability" for
-/// the event taxonomy, metric names and overhead budget.
+/// --trace-out / --metrics-out / --search-log flags, by mlsi_serve
+/// (metrics + flight recorder by default), by bench::init() (metrics
+/// only), or programmatically. See DESIGN.md "Observability" and "Live
+/// observability" for the event taxonomy, metric names and overhead
+/// budget.
 
+#include "obs/flight_rec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/search_log.hpp"
 #include "obs/trace.hpp"

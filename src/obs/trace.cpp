@@ -130,21 +130,37 @@ int Tracer::distinct_threads() const {
   return n;
 }
 
-void TraceSpan::begin(const char* name) {
-  name_ = name;
-  start();
+void TraceSpan::begin(const char* name, bool traced, bool recorded) {
+  cname_ = name;
+  if (traced) name_ = name;  // only the tracer needs an owned copy
+  start(traced, recorded);
 }
 
-void TraceSpan::start() { start_us_ = support::monotonic_us(); }
+void TraceSpan::start(bool traced, bool recorded) {
+  traced_ = traced;
+  recorded_ = recorded;
+  start_us_ = support::monotonic_us();
+  if (recorded_) {
+    FlightRecorder::instance().record(
+        cname_ != nullptr ? cname_ : name_.c_str(), 'B', start_us_, 0);
+  }
+}
 
 void TraceSpan::end() {
-  TraceEvent ev;
-  ev.name = std::move(name_);
-  ev.ph = 'X';
-  ev.ts_us = start_us_;
-  ev.dur_us = support::monotonic_us() - start_us_;
+  const std::int64_t now = support::monotonic_us();
+  if (recorded_) {
+    FlightRecorder::instance().record(
+        cname_ != nullptr ? cname_ : name_.c_str(), 'E', now, now - start_us_);
+  }
+  if (traced_) {
+    TraceEvent ev;
+    ev.name = std::move(name_);
+    ev.ph = 'X';
+    ev.ts_us = start_us_;
+    ev.dur_us = now - start_us_;
+    Tracer::instance().record(std::move(ev));
+  }
   start_us_ = -1;
-  Tracer::instance().record(std::move(ev));
 }
 
 namespace detail {

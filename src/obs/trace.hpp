@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_rec.hpp"
 #include "support/status.hpp"
 
 namespace mlsi::obs {
@@ -90,18 +91,28 @@ class Tracer {
 
 /// RAII span: records a complete event covering construction..destruction.
 /// The const char* overload is the zero-cost-when-disabled form; the
-/// std::string overload exists for dynamic labels (racer names) — its
-/// argument is built by the caller either way, so reserve it for cold call
-/// sites.
+/// std::string overload exists for dynamic labels (racer names, request
+/// ids) — its argument is built by the caller either way, so reserve it
+/// for cold call sites.
+///
+/// Every span also feeds the flight recorder ('B' at construction, 'E'
+/// with dur at destruction) when that is enabled — one instrumentation
+/// site serves both facilities. The const char* path stays allocation-free
+/// when only the recorder is on (the name is not copied into a
+/// std::string unless the tracer itself is enabled).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (trace_enabled()) begin(name);
+    const bool traced = trace_enabled();
+    const bool recorded = flight_recorder_enabled();
+    if (traced || recorded) begin(name, traced, recorded);
   }
   explicit TraceSpan(std::string name) {
-    if (trace_enabled()) {
+    const bool traced = trace_enabled();
+    const bool recorded = flight_recorder_enabled();
+    if (traced || recorded) {
       name_ = std::move(name);
-      start();
+      start(traced, recorded);
     }
   }
   ~TraceSpan() {
@@ -112,12 +123,15 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  void begin(const char* name);
-  void start();
+  void begin(const char* name, bool traced, bool recorded);
+  void start(bool traced, bool recorded);
   void end();
 
   std::string name_;
+  const char* cname_ = nullptr;  ///< static-name fast path (no allocation)
   std::int64_t start_us_ = -1;
+  bool traced_ = false;
+  bool recorded_ = false;
 };
 
 namespace detail {
@@ -128,6 +142,13 @@ void instant(std::string name);
 /// Records an instant event (a point-in-time marker on the thread's track).
 inline void trace_instant(const char* name) {
   if (trace_enabled()) detail::instant(name);
+}
+
+/// Dynamic-label form for cold sites (e.g. coalescing links carrying
+/// request ids); the caller pays the string build only when tracing is on,
+/// so guard the construction with trace_enabled().
+inline void trace_instant(std::string name) {
+  if (trace_enabled()) detail::instant(std::move(name));
 }
 
 }  // namespace mlsi::obs

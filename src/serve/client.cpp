@@ -1,0 +1,85 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace mlsi::serve {
+
+SocketClient::SocketClient(SocketClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      pending_(std::move(other.pending_)) {}
+
+SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+Result<SocketClient> SocketClient::connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(cat("socket path too long: ", path));
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return Status::NotFound(cat("cannot connect to ", path));
+  }
+  SocketClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status SocketClient::send_line(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  const std::string text = line + "\n";
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ::ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::Internal("socket write failed");
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> SocketClient::recv_line() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  for (;;) {
+    if (const std::size_t pos = pending_.find('\n');
+        pos != std::string::npos) {
+      std::string line = pending_.substr(0, pos);
+      pending_.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ::ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::Internal("connection closed by server");
+    pending_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+}  // namespace mlsi::serve

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief Minimal JSONL client for the mlsi_serve Unix-socket transport.
+///
+/// One connection, blocking request/response: send_line() writes one JSONL
+/// request, recv_line() reads one response line (the daemon answers each
+/// connection's lines in order, so simple clients pair them 1:1). Shared
+/// by tools/mlsi_top (stats polling), bench/serve_throughput --socket
+/// (load generation) and the SIGTERM drain ctest.
+
+#include <string>
+
+#include "support/status.hpp"
+
+namespace mlsi::serve {
+
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient() { close(); }
+
+  SocketClient(SocketClient&& other) noexcept;
+  SocketClient& operator=(SocketClient&& other) noexcept;
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Connects to the daemon's Unix socket at \p path.
+  [[nodiscard]] static Result<SocketClient> connect(const std::string& path);
+
+  /// Writes \p line plus a trailing newline.
+  [[nodiscard]] Status send_line(const std::string& line);
+
+  /// Blocks until one full response line arrives (newline stripped).
+  /// kInternal on EOF — the daemon closed the connection.
+  [[nodiscard]] Result<std::string> recv_line();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the last returned line
+};
+
+}  // namespace mlsi::serve

@@ -4,12 +4,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "io/case_io.hpp"
+#include "obs/flight_rec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 
 namespace mlsi::serve {
@@ -31,6 +36,12 @@ void observe_latency_us(const char* name, double us) {
       .observe(us);
 }
 
+void set_gauge(const char* name, double v) {
+  if (obs::metrics_enabled()) obs::metrics().gauge(name).set(v);
+}
+
+double elapsed_us(const Timer& t) { return t.seconds() * 1e6; }
+
 }  // namespace
 
 std::string_view to_string(ServeOutcome outcome) {
@@ -49,9 +60,32 @@ Value response_to_json(const ServeResponse& response) {
   o["id"] = Value{response.id};
   o["status"] = Value{std::string(to_string(response.outcome))};
   if (!response.error.empty()) o["error"] = Value{response.error};
+  // Control responses (stats) splice their payload at top level and skip
+  // the request-shaped fields entirely.
+  if (response.control.is_object()) {
+    for (const auto& [key, value] : response.control.as_object()) {
+      o[key] = value;
+    }
+    return Value{std::move(o)};
+  }
   o["cached"] = Value{response.cached};
   o["coalesced"] = Value{response.coalesced};
   o["wall_us"] = Value{response.wall_us};
+  if (response.timing.seq > 0) {
+    const StageTiming& t = response.timing;
+    Object timing;
+    timing["seq"] = Value{static_cast<double>(t.seq)};
+    if (t.leader_seq >= 0) {
+      timing["leader_seq"] = Value{static_cast<double>(t.leader_seq)};
+    }
+    timing["canonicalize_us"] = Value{t.canonicalize_us};
+    timing["cache_probe_us"] = Value{t.cache_probe_us};
+    timing["queue_wait_us"] = Value{t.queue_wait_us};
+    timing["solve_us"] = Value{t.solve_us};
+    timing["permute_us"] = Value{t.permute_us};
+    timing["total_us"] = Value{t.total_us};
+    o["timing"] = Value{std::move(timing)};
+  }
   if (response.outcome == ServeOutcome::kOk) o["result"] = response.result;
   return Value{std::move(o)};
 }
@@ -80,15 +114,34 @@ Server::Server(ServeOptions options)
 
 Server::~Server() { shutdown(); }
 
-void Server::shutdown() {
+void Server::shutdown() { close_down(/*hard=*/true); }
+
+void Server::drain() { close_down(/*hard=*/false); }
+
+void Server::close_down(bool hard) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   stopping_.store(true, std::memory_order_relaxed);
   if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
+    ::shutdown(fd, SHUT_RDWR);  // unblocks accept()
     ::close(fd);
   }
-  stop_.request_stop();
+  // hard: cancel running solves cooperatively and make workers reject
+  // whatever is still queued. Graceful drain skips both — queue_.close()
+  // refuses NEW pushes but items already queued stay poppable
+  // (BoundedQueue contract), so every admitted request still gets solved
+  // and published before the join below returns.
+  if (hard) stop_.request_stop();
   queue_.close();
-  pool_.reset();  // joins workers; queued flights are drained and published
+  pool_.reset();  // joins workers
+  {
+    // Wake connection threads blocked in read(); they close their own fd.
+    // Graceful drain keeps the write half open so a response already being
+    // written still reaches its client.
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (const int fd : client_fds_) {
+      ::shutdown(fd, hard ? SHUT_RDWR : SHUT_RD);
+    }
+  }
   store_.close();
 }
 
@@ -102,9 +155,61 @@ Server::Counters Server::counters() const {
   c.rejected_deadline =
       counters_.rejected_deadline.load(std::memory_order_relaxed);
   c.solves = counters_.solves.load(std::memory_order_relaxed);
+  c.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
   c.persist_replayed =
       counters_.persist_replayed.load(std::memory_order_relaxed);
   return c;
+}
+
+json::Value Server::stats_json() const {
+  Object o;
+  const double uptime_s = started_.seconds();
+  o["uptime_s"] = Value{uptime_s};
+  const Counters c = counters();
+  o["requests"] = Value{static_cast<double>(c.requests)};
+  o["hits"] = Value{static_cast<double>(c.hits)};
+  o["misses"] = Value{static_cast<double>(c.misses)};
+  o["coalesced"] = Value{static_cast<double>(c.coalesced)};
+  o["rejected_queue"] = Value{static_cast<double>(c.rejected_queue)};
+  o["rejected_deadline"] = Value{static_cast<double>(c.rejected_deadline)};
+  o["solves"] = Value{static_cast<double>(c.solves)};
+  o["timeouts"] = Value{static_cast<double>(c.timeouts)};
+  o["persist_replayed"] = Value{static_cast<double>(c.persist_replayed)};
+  o["queue_depth"] = Value{static_cast<double>(queue_.size())};
+  o["queue_capacity"] = Value{static_cast<double>(queue_.capacity())};
+  o["in_flight_solves"] =
+      Value{static_cast<double>(in_flight_solves_.load(std::memory_order_relaxed))};
+  const ResultCache::Stats cs = cache_.stats();
+  o["cache_entries"] = Value{static_cast<double>(cs.entries)};
+  o["cache_capacity"] = Value{static_cast<double>(cache_.capacity())};
+  o["cache_evictions"] = Value{static_cast<double>(cs.evictions)};
+  o["hit_rate"] = Value{c.requests > 0 ? static_cast<double>(c.hits) /
+                                             static_cast<double>(c.requests)
+                                       : 0.0};
+  o["rps"] = Value{uptime_s > 0
+                       ? static_cast<double>(c.requests) / uptime_s
+                       : 0.0};
+  o["code_version"] = Value{options_.code_version};
+  return Value{std::move(o)};
+}
+
+ServeResponse Server::handle_control(const std::string& cmd, std::string id) {
+  ServeResponse resp;
+  resp.id = std::move(id);
+  if (cmd == "stats") {
+    count("serve.stats_requests");
+    Object payload;
+    payload["stats"] = stats_json();
+    if (obs::metrics_enabled()) {
+      payload["metrics"] = obs::Metrics::instance().snapshot();
+    }
+    resp.outcome = ServeOutcome::kOk;
+    resp.control = Value{std::move(payload)};
+  } else {
+    resp.outcome = ServeOutcome::kError;
+    resp.error = cat("unknown control command '", cmd, "'");
+  }
+  return resp;
 }
 
 const Server::Bundle& Server::bundle_for(int pins_per_side) {
@@ -122,12 +227,13 @@ const Server::Bundle& Server::bundle_for(int pins_per_side) {
 ServeResponse Server::respond(const ServeRequest& request,
                               const CanonicalRequest& canon,
                               const CachedResult& value, Timer t0, bool cached,
-                              bool coalesced) {
+                              bool coalesced, StageTiming timing) {
   ServeResponse resp;
   resp.id = request.id;
   resp.outcome = ServeOutcome::kOk;
   resp.cached = cached;
   resp.coalesced = coalesced;
+  const Timer t_permute;
   const Bundle& bundle = bundle_for(request.spec.effective_pins_per_side());
   const synth::SynthesisResult result = to_result(value, canon, *bundle.paths);
   resp.result = io::result_to_json(*bundle.topo, request.spec, result);
@@ -135,15 +241,28 @@ ServeResponse Server::respond(const ServeRequest& request,
   // snapshot (it is unbounded and differs between fresh and cached paths —
   // the differential guarantee is on the synthesis payload).
   if (resp.result.is_object()) resp.result.as_object().erase("metrics");
+  timing.permute_us = elapsed_us(t_permute);
+  observe_latency_us("serve.stage.permute_us", timing.permute_us);
   resp.wall_us = t0.seconds() * 1e6;
+  timing.total_us = resp.wall_us;
+  resp.timing = timing;
   observe_latency_us("serve.e2e_us", resp.wall_us);
   return resp;
 }
 
 ServeResponse Server::handle(const ServeRequest& request) {
   Timer t0;
+  // The request id: process-unique, assigned the moment the request enters
+  // the pipeline, carried through canonicalization, cache probe,
+  // coalescing, solve and permute-back via StageTiming.
+  const long seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  StageTiming timing;
+  timing.seq = seq;
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
   count("serve.requests");
+  obs::FrScope fr_handle("serve.handle");
+  std::optional<obs::TraceSpan> span;
+  if (obs::trace_enabled()) span.emplace(cat("serve.req#", seq));
 
   ServeResponse resp;
   resp.id = request.id;
@@ -151,6 +270,8 @@ ServeResponse Server::handle(const ServeRequest& request) {
     resp.outcome = outcome;
     resp.error = std::move(error);
     resp.wall_us = t0.seconds() * 1e6;
+    timing.total_us = resp.wall_us;
+    resp.timing = timing;
     observe_latency_us("serve.e2e_us", resp.wall_us);
     return resp;
   };
@@ -158,14 +279,21 @@ ServeResponse Server::handle(const ServeRequest& request) {
   if (Status valid = request.spec.validate(); !valid.ok()) {
     return finish(ServeOutcome::kError, valid.to_string());
   }
+  Timer t_stage;
   const CanonicalRequest canon =
       canonicalize(request.spec, options_.synth, options_.code_version);
+  timing.canonicalize_us = elapsed_us(t_stage);
+  observe_latency_us("serve.stage.canonicalize_us", timing.canonicalize_us);
 
-  if (auto hit = cache_.lookup(canon.key)) {
+  t_stage = Timer{};
+  auto hit = cache_.lookup(canon.key);
+  timing.cache_probe_us = elapsed_us(t_stage);
+  observe_latency_us("serve.stage.cache_probe_us", timing.cache_probe_us);
+  if (hit) {
     counters_.hits.fetch_add(1, std::memory_order_relaxed);
     count("serve.hits");
     return respond(request, canon, *hit, t0, /*cached=*/true,
-                   /*coalesced=*/false);
+                   /*coalesced=*/false, timing);
   }
 
   // Coalescing rides on the cache: the no-cache baseline (capacity 0) must
@@ -178,10 +306,10 @@ ServeResponse Server::handle(const ServeRequest& request) {
     if (coalesce) {
       // A flight may have completed (and committed) between the lookup
       // above and taking this lock; re-check so we never re-solve.
-      if (auto hit = cache_.lookup(canon.key)) {
+      if (auto racy_hit = cache_.lookup(canon.key)) {
         counters_.hits.fetch_add(1, std::memory_order_relaxed);
         count("serve.hits");
-        return respond(request, canon, *hit, t0, true, false);
+        return respond(request, canon, *racy_hit, t0, true, false, timing);
       }
       if (const auto it = flights_.find(canon.key.text);
           it != flights_.end()) {
@@ -192,6 +320,7 @@ ServeResponse Server::handle(const ServeRequest& request) {
       flight = std::make_shared<Flight>();
       flight->spec = request.spec;
       flight->canon = canon;
+      flight->leader_seq = seq;
       const double limit = request.time_limit_s > 0
                                ? request.time_limit_s
                                : options_.default_time_limit_s;
@@ -202,6 +331,7 @@ ServeResponse Server::handle(const ServeRequest& request) {
         return finish(ServeOutcome::kRejected,
                       "admission queue full (server overloaded)");
       }
+      set_gauge("serve.queue_depth", static_cast<double>(queue_.size()));
       leader = true;
       if (coalesce) flights_[canon.key.text] = flight;
     }
@@ -212,17 +342,28 @@ ServeResponse Server::handle(const ServeRequest& request) {
   } else {
     counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
     count("serve.coalesced");
+    // The follower's link to the solve span it rides on.
+    if (obs::trace_enabled()) {
+      obs::trace_instant(
+          cat("serve.coalesced#", seq, "->", flight->leader_seq));
+    }
   }
 
   {
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->cv.wait(lock, [&] { return flight->done; });
   }
+  // Shared solve facts: the leader and every coalesced follower report the
+  // SAME queue-wait/solve times (that is the solve that answered them) and
+  // the leader's seq as the link.
+  timing.leader_seq = flight->leader_seq;
+  timing.queue_wait_us = flight->queue_wait_us;
+  timing.solve_us = flight->solve_us;
   if (flight->outcome == ServeOutcome::kOk) {
     // Every waiter rehydrates through its OWN canonical permutations, so a
     // relabeled duplicate gets the answer in its labeling.
     return respond(request, canon, *flight->value, t0, /*cached=*/false,
-                   /*coalesced=*/!leader);
+                   /*coalesced=*/!leader, timing);
   }
   resp.coalesced = !leader;
   return finish(flight->outcome, flight->error);
@@ -231,7 +372,10 @@ ServeResponse Server::handle(const ServeRequest& request) {
 void Server::worker_loop() {
   while (auto item = queue_.pop()) {
     const std::shared_ptr<Flight> flight = std::move(*item);
-    observe_latency_us("serve.queue_wait_us", flight->queued_at.seconds() * 1e6);
+    set_gauge("serve.queue_depth", static_cast<double>(queue_.size()));
+    flight->queue_wait_us = flight->queued_at.seconds() * 1e6;
+    observe_latency_us("serve.queue_wait_us", flight->queue_wait_us);
+    observe_latency_us("serve.stage.queue_wait_us", flight->queue_wait_us);
     if (stop_.stop_requested()) {
       publish(flight, ServeOutcome::kRejected, nullptr, "server shutting down");
       continue;
@@ -241,17 +385,32 @@ void Server::worker_loop() {
       count("serve.rejected_deadline");
       publish(flight, ServeOutcome::kRejected, nullptr,
               "deadline expired while queued");
+      on_deadline_blown();
       continue;
     }
     counters_.solves.fetch_add(1, std::memory_order_relaxed);
     count("serve.solves");
+    set_gauge("serve.inflight_solves",
+              in_flight_solves_.fetch_add(1, std::memory_order_relaxed) + 1);
 
     synth::SynthesisOptions opts = options_.synth;
     opts.engine_params.deadline =
         support::Deadline::sooner(opts.engine_params.deadline,
                                   flight->deadline);
     opts.engine_params.stop = stop_.token();
-    auto solved = synth::synthesize(flight->spec, opts);
+    const Timer t_solve;
+    auto solved = [&] {
+      obs::FrScope fr_solve("serve.solve");
+      std::optional<obs::TraceSpan> solve_span;
+      if (obs::trace_enabled()) {
+        solve_span.emplace(cat("serve.solve#", flight->leader_seq));
+      }
+      return synth::synthesize(flight->spec, opts);
+    }();
+    flight->solve_us = elapsed_us(t_solve);
+    observe_latency_us("serve.stage.solve_us", flight->solve_us);
+    set_gauge("serve.inflight_solves",
+              in_flight_solves_.fetch_sub(1, std::memory_order_relaxed) - 1);
     if (solved.ok()) {
       auto cached = std::make_shared<const CachedResult>(
           to_cached(*solved, flight->canon));
@@ -273,10 +432,22 @@ void Server::worker_loop() {
         outcome = ServeOutcome::kInfeasible;
       } else if (solved.status().code() == StatusCode::kTimeout) {
         outcome = ServeOutcome::kTimeout;
+        counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        count("serve.timeouts");
       }
       publish(flight, outcome, nullptr, solved.status().message());
+      if (outcome == ServeOutcome::kTimeout) on_deadline_blown();
     }
   }
+}
+
+void Server::on_deadline_blown() {
+  // A blown deadline is exactly the "wedged solve" evidence the flight
+  // recorder exists for: dump the recent rings while the trail is fresh.
+  // Repeated dumps overwrite — the latest evidence wins.
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  if (!obs::flight_recorder_enabled() || rec.dump_path()[0] == '\0') return;
+  if (rec.dump().ok()) count("fr.dumps");
 }
 
 void Server::publish(const std::shared_ptr<Flight>& flight,
@@ -314,6 +485,10 @@ ServeResponse Server::handle_line(const std::string& line) {
     req.id = id->is_string() ? id->as_string() : id->dump();
   }
   resp.id = req.id;
+  if (const Value* cmd = doc->find("cmd"); cmd != nullptr) {
+    return handle_control(cmd->is_string() ? cmd->as_string() : cmd->dump(),
+                          std::move(req.id));
+  }
   const Value* spec_doc = doc->find("case");
   if (spec_doc == nullptr) {
     resp.error = "request is missing 'case'";
@@ -375,7 +550,16 @@ Status Server::run_socket(const std::string& path) {
   std::vector<std::thread> connections;
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) break;  // listen fd closed by shutdown()
+    if (client < 0) {
+      if (errno == EINTR && !stopping_.load(std::memory_order_relaxed)) {
+        continue;  // shutdown-signal handler interrupted us, not a close
+      }
+      break;  // listen fd closed by shutdown()/drain()
+    }
+    {
+      std::lock_guard<std::mutex> lock(clients_mutex_);
+      client_fds_.push_back(client);
+    }
     connections.emplace_back([this, client] {
       std::string pending;
       char chunk[4096];
@@ -397,6 +581,12 @@ Status Server::run_socket(const std::string& path) {
             off += static_cast<std::size_t>(w);
           }
         }
+      }
+      {
+        std::lock_guard<std::mutex> lock(clients_mutex_);
+        client_fds_.erase(
+            std::remove(client_fds_.begin(), client_fds_.end(), client),
+            client_fds_.end());
       }
       ::close(client);
     });

@@ -23,13 +23,28 @@
 ///   {"id": "r1", "case": {<case-file document>}, "time_limit_s": 30}
 /// and responses like
 ///   {"id": "r1", "status": "ok", "cached": true, "coalesced": false,
-///    "wall_us": 412.0, "result": {<result_to_json document>}}
+///    "wall_us": 412.0, "timing": {...}, "result": {<result_to_json doc>}}
 /// with "status" one of ok | infeasible | rejected | timeout | error.
 ///
+/// Control commands share the transport: a line {"cmd": "stats", "id": ...}
+/// is answered with {"id", "status": "ok", "stats": {...derived numbers...},
+/// "metrics": {...Metrics::snapshot()...}} — live introspection without
+/// restarting the daemon (this is what tools/mlsi_top polls).
+///
+/// Request-scoped tracing: every request is stamped with a process-unique
+/// sequence number on entry to handle(). The per-stage breakdown
+/// (canonicalize, cache probe, queue wait, solve, permute-back) is carried
+/// in the response "timing" section; coalesced followers report the
+/// leader's solve/queue time plus a "leader_seq" link to the solve they
+/// shared. The same stages feed serve.stage.* histograms.
+///
 /// Observability: serve.* counters (requests, hits, misses, coalesced,
-/// rejected, rejected_deadline, solves) and queue-wait / end-to-end latency
-/// histograms when obs::metrics are enabled; the same numbers are always
-/// available via counters() for tools that run with metrics off.
+/// rejected, rejected_deadline, solves, timeouts, deadline_blown) and
+/// queue-wait / stage / end-to-end latency histograms when obs::metrics
+/// are enabled; the same numbers are always available via counters() for
+/// tools that run with metrics off. A request that blows its deadline
+/// triggers an obs::FlightRecorder dump (when one is configured) so the
+/// wedged solve leaves a trail.
 
 #include <atomic>
 #include <istream>
@@ -82,6 +97,24 @@ struct ServeRequest {
   double time_limit_s = 0.0;  ///< 0 = server default
 };
 
+/// Per-stage latency breakdown of one request; serialized as the response
+/// "timing" section when seq > 0 (control responses have none). Stages a
+/// request never entered stay 0 — a cache hit has no queue/solve time, and
+/// a coalesced follower carries the *leader's* queue_wait/solve values
+/// (that is the solve it waited on) plus leader_seq as the link.
+struct StageTiming {
+  long seq = 0;          ///< request id, assigned on entry to handle()
+  long leader_seq = -1;  ///< seq of the request whose solve answered this
+                         ///< one; -1 when no solve was involved (cache hit,
+                         ///< rejection); == seq for a leader
+  double canonicalize_us = 0.0;
+  double cache_probe_us = 0.0;
+  double queue_wait_us = 0.0;
+  double solve_us = 0.0;
+  double permute_us = 0.0;  ///< rehydration into the request's labeling
+  double total_us = 0.0;    ///< == wall_us
+};
+
 struct ServeResponse {
   std::string id;
   ServeOutcome outcome = ServeOutcome::kError;
@@ -89,7 +122,10 @@ struct ServeResponse {
   bool cached = false;     ///< answered from the LRU (no solve)
   bool coalesced = false;  ///< shared another request's in-flight solve
   double wall_us = 0.0;    ///< end-to-end handle() latency
+  StageTiming timing;      ///< per-stage breakdown (seq == 0 -> omitted)
   json::Value result;      ///< result_to_json document when outcome == kOk
+  json::Value control;     ///< control-command payload, spliced into the
+                           ///< response line at top level (stats)
 };
 
 /// Serializes a response to its single JSONL line (without the newline).
@@ -124,6 +160,18 @@ class Server {
   /// the queue and joins the workers. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// Graceful counterpart to shutdown(): stops intake (listener, client
+  /// connections, new admissions) but lets already-admitted solves FINISH
+  /// and publish before the workers are joined — the SIGTERM path, so an
+  /// interrupted daemon answers what it accepted and its telemetry covers
+  /// the whole session. Idempotent, safe to race with shutdown().
+  void drain();
+
+  /// Live introspection document served by the "stats" control command:
+  /// uptime, the counters() block, queue depth/capacity, in-flight solves,
+  /// cache occupancy, and derived hit_rate / rps. Thread-safe.
+  [[nodiscard]] json::Value stats_json() const;
+
   struct Counters {
     long requests = 0;
     long hits = 0;
@@ -132,6 +180,7 @@ class Server {
     long rejected_queue = 0;
     long rejected_deadline = 0;
     long solves = 0;
+    long timeouts = 0;  ///< solves that ran but blew their deadline
     long persist_replayed = 0;
   };
   [[nodiscard]] Counters counters() const;
@@ -153,6 +202,12 @@ class Server {
     CanonicalRequest canon;
     support::Deadline deadline;
     Timer queued_at;
+    // Timing facts shared with every waiter (leader and coalesced
+    // followers alike); written by the worker before publish(), read only
+    // after done == true, so the flight mutex orders them.
+    long leader_seq = 0;        ///< seq of the request that enqueued this
+    double queue_wait_us = 0.0; ///< admission -> worker pickup
+    double solve_us = 0.0;      ///< synthesize() wall time
   };
 
   /// Shared immutable topology + candidate paths per switch size, built on
@@ -169,7 +224,12 @@ class Server {
   ServeResponse respond(const ServeRequest& request,
                         const CanonicalRequest& canon,
                         const CachedResult& value, Timer t0, bool cached,
-                        bool coalesced);
+                        bool coalesced, StageTiming timing);
+  ServeResponse handle_control(const std::string& cmd, std::string id);
+  /// Shared body of shutdown()/drain(); hard decides whether running and
+  /// queued solves are cancelled (shutdown) or finished (drain).
+  void close_down(bool hard);
+  void on_deadline_blown();
 
   ServeOptions options_;
   ResultCache cache_;
@@ -186,6 +246,16 @@ class Server {
 
   std::atomic<int> listen_fd_{-1};
   std::atomic<bool> stopping_{false};
+  std::mutex lifecycle_mutex_;  ///< serializes close_down() callers
+
+  /// Open client connections (run_socket); close_down() shuts them down so
+  /// blocked reads return and connection threads exit.
+  std::mutex clients_mutex_;
+  std::vector<int> client_fds_;
+
+  std::atomic<long> next_seq_{0};
+  std::atomic<int> in_flight_solves_{0};
+  Timer started_;
 
   struct AtomicCounters {
     std::atomic<long> requests{0};
@@ -195,6 +265,7 @@ class Server {
     std::atomic<long> rejected_queue{0};
     std::atomic<long> rejected_deadline{0};
     std::atomic<long> solves{0};
+    std::atomic<long> timeouts{0};
     std::atomic<long> persist_replayed{0};
   };
   AtomicCounters counters_;

@@ -1,0 +1,75 @@
+#include "support/crash.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <thread>
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace mlsi::support {
+
+namespace {
+
+std::atomic<void (*)()> g_crash_hook{nullptr};
+
+void on_crash_signal(int sig) {
+  if (void (*hook)() = g_crash_hook.load(std::memory_order_relaxed)) hook();
+  // SA_RESETHAND restored the default disposition before we ran; re-raise
+  // so the process terminates exactly as it would have without the hook.
+  ::raise(sig);
+}
+
+int g_shutdown_pipe_w = -1;
+
+void on_shutdown_signal(int) {
+  const char byte = 1;
+  if (g_shutdown_pipe_w >= 0) {
+    // The pipe is effectively unbounded for our one-byte payloads; a full
+    // pipe just means a shutdown is already pending, so dropping is fine.
+    [[maybe_unused]] const ::ssize_t n = ::write(g_shutdown_pipe_w, &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_crash_handler(void (*hook)()) {
+  g_crash_hook.store(hook, std::memory_order_relaxed);
+  struct sigaction sa = {};
+  sa.sa_handler = on_crash_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;  // one shot: the re-raise hits SIG_DFL
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+void install_shutdown_handler(const std::vector<int>& signals,
+                              std::function<void()> on_signal) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    log_warn("install_shutdown_handler: pipe() failed, signals not trapped");
+    return;
+  }
+  g_shutdown_pipe_w = fds[1];
+  std::thread([read_fd = fds[0], cb = std::move(on_signal)]() {
+    char byte = 0;
+    ::ssize_t n;
+    do {
+      n = ::read(read_fd, &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) cb();
+  }).detach();
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked accept()/read() may EINTR,
+                    // which is fine — we are shutting down anyway
+  for (const int sig : signals) ::sigaction(sig, &sa, nullptr);
+}
+
+}  // namespace mlsi::support

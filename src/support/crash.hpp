@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file crash.hpp
+/// \brief Process signal plumbing: a crash-dump hook and a graceful
+/// shutdown trigger.
+///
+/// Two distinct jobs, both signal-driven, with very different safety
+/// rules:
+///
+///  * install_crash_handler(hook) — runs \p hook inside the SIGSEGV /
+///    SIGABRT / SIGBUS / SIGFPE handler itself, then re-raises with the
+///    default disposition so the process still dies with the right signal
+///    (core dumps, test death-assertions, and shell $? all behave as
+///    before). The hook MUST be async-signal-safe: no allocation, no
+///    locks, only the syscalls POSIX blesses (the intended hook is
+///    obs::FlightRecorder::dump_signal_safe()).
+///
+///  * install_shutdown_handler(signals, on_signal) — runs \p on_signal in
+///    a *normal thread* context via the self-pipe trick: the handler only
+///    write()s one byte, a detached watcher thread read()s it and invokes
+///    the callback, so the callback may take mutexes, allocate, and join
+///    threads (the intended callback is serve::Server::drain() + obs
+///    flushing). Fires the callback once; later signals of the same set
+///    are absorbed.
+///
+/// Both installers are meant to be called once, early in main(), from
+/// tools — libraries never install handlers behind the caller's back.
+
+#include <functional>
+#include <vector>
+
+namespace mlsi::support {
+
+/// Installs \p hook for SIGSEGV/SIGABRT/SIGBUS/SIGFPE. After the hook
+/// returns the signal is re-raised with SIG_DFL, so default termination
+/// semantics are preserved. Pass a captureless lambda or free function;
+/// it must be async-signal-safe (see file comment).
+void install_crash_handler(void (*hook)());
+
+/// Installs \p on_signal for every signal in \p signals (typically
+/// {SIGTERM, SIGINT}), delivered once on a detached watcher thread. The
+/// process does NOT exit by itself afterwards — the callback (or the code
+/// it unblocks) decides how to finish, which is what lets a daemon drain
+/// in-flight work and flush telemetry before returning from main().
+void install_shutdown_handler(const std::vector<int>& signals,
+                              std::function<void()> on_signal);
+
+}  // namespace mlsi::support

@@ -1,9 +1,12 @@
 // Tests for the observability layer: tracer span nesting and serialization,
-// metrics instruments (bucket edges in particular), search-log JSONL shape,
+// metrics instruments (bucket edges and quantile estimation in particular),
+// search-log JSONL shape, flight-recorder rings (wraparound, crash dump),
 // concurrent emission, and the allocation-free disabled path.
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 #include <thread>
 #include <vector>
@@ -11,8 +14,19 @@
 #include <gtest/gtest.h>
 
 #include "obs/obs.hpp"
+#include "support/crash.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
+
+// The crash-dump death test re-raises a real SIGABRT; TSan's runtime
+// intercepts it and reports instead of dying cleanly, so skip there.
+#if defined(__SANITIZE_THREAD__)
+#define MLSI_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLSI_TSAN 1
+#endif
+#endif
 
 // ---------------------------------------------------------------------------
 // Global allocation counter: the disabled-path contract is "one relaxed
@@ -35,10 +49,30 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc();
 }
 
+// The nothrow forms must be replaced too: libstdc++'s temporary buffers
+// (stable_sort in Tracer::to_json) allocate through them, and under ASan a
+// nothrow-new allocation released by our free-based operator delete would
+// be flagged as an alloc-dealloc mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace mlsi::obs {
 namespace {
@@ -56,6 +90,8 @@ class ObsTest : public ::testing::Test {
     Metrics::instance().disable();
     Metrics::instance().reset();
     SearchLog::instance().close();
+    FlightRecorder::instance().disable();
+    FlightRecorder::instance().reset();
   }
 };
 
@@ -173,7 +209,7 @@ TEST_F(ObsTest, MetricsSnapshotShape) {
   metrics().series("test.series").record_at(0.25, 7.0);
 
   const json::Value snap = Metrics::instance().snapshot();
-  EXPECT_EQ(snap.find("schema")->as_int(), 1);
+  EXPECT_EQ(snap.find("schema")->as_int(), kMetricsSchemaVersion);
   EXPECT_EQ(snap.find("counters")->find("test.counter")->as_number(), 3.0);
   EXPECT_EQ(snap.find("gauges")->find("test.gauge")->as_number(), 1.5);
   const json::Value* hist = snap.find("histograms")->find("test.snap_hist");
@@ -181,6 +217,14 @@ TEST_F(ObsTest, MetricsSnapshotShape) {
   EXPECT_EQ(hist->find("edges")->as_array().size(), 1u);
   EXPECT_EQ(hist->find("counts")->as_array().size(), 2u);
   EXPECT_EQ(hist->find("count")->as_number(), 1.0);
+  // Schema v2: every histogram snapshot carries ordered quantiles.
+  const json::Value* q = hist->find("quantiles");
+  ASSERT_NE(q, nullptr);
+  ASSERT_NE(q->find("p50"), nullptr);
+  ASSERT_NE(q->find("p95"), nullptr);
+  ASSERT_NE(q->find("p99"), nullptr);
+  EXPECT_LE(q->find("p50")->as_number(), q->find("p95")->as_number());
+  EXPECT_LE(q->find("p95")->as_number(), q->find("p99")->as_number());
   const json::Value* series = snap.find("series")->find("test.series");
   ASSERT_NE(series, nullptr);
   ASSERT_EQ(series->as_array().size(), 1u);
@@ -193,6 +237,70 @@ TEST_F(ObsTest, MetricsSnapshotShape) {
   EXPECT_EQ(c.value(), 0);
   c.add();
   EXPECT_EQ(metrics().counter("test.counter").value(), 1);
+}
+
+TEST_F(ObsTest, EstimateQuantileKnownDistributions) {
+  // Uniform: 10 per finite bucket over edges {10,...,100}, empty overflow.
+  // Linear interpolation within the rank bucket makes these exact.
+  const std::vector<double> edges{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  const std::vector<long> uniform{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, uniform, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, uniform, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, uniform, 0.99), 99.0);
+
+  // Everything in one bucket: the answer interpolates inside (20, 30].
+  const std::vector<long> spike{0, 0, 100, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, spike, 0.5), 25.0);
+  EXPECT_GT(estimate_quantile(edges, spike, 0.99), 25.0);
+  EXPECT_LE(estimate_quantile(edges, spike, 0.99), 30.0);
+
+  // Mass in the +inf overflow bucket clamps to the last finite edge.
+  const std::vector<long> overflow{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, overflow, 0.5), 100.0);
+
+  // No observations: 0, not NaN.
+  const std::vector<long> empty(11, 0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(edges, empty, 0.5), 0.0);
+
+  // Histogram::quantile agrees with the free function over its counts.
+  Metrics::instance().enable();
+  Histogram& h = metrics().histogram("test.quant_hist", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST_F(ObsTest, SnapshotUnderConcurrentMutation) {
+  // snapshot_json() must stay well-formed (and TSan-clean — scripts/check.sh
+  // runs this binary under -DMLSI_SANITIZE=thread) while workers hammer the
+  // same instruments. The stats endpoint does exactly this on a live daemon.
+  Metrics::instance().enable();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        metrics().counter("test.mut_counter").add();
+        metrics().gauge("test.mut_gauge").set(static_cast<double>(i));
+        metrics().histogram("test.mut_hist", {10.0, 100.0, 1000.0})
+            .observe(static_cast<double>(i % 2000));
+      }
+    });
+  }
+  for (int n = 0; n < 50; ++n) {
+    const auto doc = json::parse(Metrics::instance().snapshot_json());
+    ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+    const json::Value* hist =
+        doc->find("histograms")->find("test.mut_hist");
+    if (hist == nullptr) continue;  // first snapshots may precede creation
+    const json::Value* q = hist->find("quantiles");
+    ASSERT_NE(q, nullptr);
+    // Quantiles computed from a mid-mutation snapshot must still be
+    // ordered: the estimate ranks against the loaded counts themselves.
+    EXPECT_LE(q->find("p50")->as_number(), q->find("p95")->as_number());
+    EXPECT_LE(q->find("p95")->as_number(), q->find("p99")->as_number());
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
 }
 
 TEST_F(ObsTest, SeriesTracksLastValue) {
@@ -285,6 +393,108 @@ TEST_F(ObsTest, TracerSurvivesEmitterThreadExit) {
             std::string::npos);
 }
 
+TEST_F(ObsTest, FlightRecorderWraparoundKeepsNewestRecords) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.enable();
+  // Overfill this thread's ring 3x: first two capacities under one name,
+  // the final capacity under another. Only the final capacity survives.
+  for (std::size_t i = 0; i < 2 * FlightRecorder::kRecordsPerThread; ++i) {
+    fr_instant("wrap.old");
+  }
+  for (std::size_t i = 0; i < FlightRecorder::kRecordsPerThread; ++i) {
+    fr_instant("wrap.new");
+  }
+  rec.disable();
+  EXPECT_EQ(rec.record_count(), FlightRecorder::kRecordsPerThread);
+
+  const std::string path = ::testing::TempDir() + "obs_fr_wrap.jsonl";
+  ASSERT_TRUE(rec.dump(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  double prev_ts = -1.0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    EXPECT_EQ(doc->find("name")->as_string(), "wrap.new");
+    EXPECT_EQ(doc->find("ph")->as_string(), "i");
+    // Single ring, dumped oldest-first: timestamps never go backwards.
+    const double ts = doc->find("ts")->as_number();
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+  }
+  EXPECT_EQ(lines, FlightRecorder::kRecordsPerThread);
+}
+
+TEST_F(ObsTest, FlightRecorderSanitizesAndTruncatesNames) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.enable();
+  // Control chars, quotes and backslashes would corrupt the JSONL dump a
+  // signal handler writes without an escaper; they must be rewritten at
+  // record time. Over-long names truncate to the fixed record field.
+  fr_instant("bad\"name\\with\ncontrol");
+  const std::string long_name(200, 'x');
+  fr_instant(long_name.c_str());
+  rec.disable();
+
+  const std::string path = ::testing::TempDir() + "obs_fr_names.jsonl";
+  ASSERT_TRUE(rec.dump(path).ok());
+  std::ifstream in(path);
+  std::vector<std::string> names;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    names.push_back(doc->find("name")->as_string());
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "bad_name_with_control");
+  EXPECT_EQ(names[1], std::string(sizeof(FrRecord{}.name) - 1, 'x'));
+}
+
+#if !defined(MLSI_TSAN)
+TEST_F(ObsTest, CrashHandlerDumpsFlightRecorder) {
+  // The child arms the crash handler exactly like mlsi_serve --flight-rec
+  // and aborts mid-span; the parent then validates the JSONL the
+  // async-signal-safe dump left behind. SA_RESETHAND + re-raise keeps the
+  // abort fatal, which is what EXPECT_DEATH requires.
+  const std::string path = ::testing::TempDir() + "obs_fr_crash.jsonl";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder& rec = FlightRecorder::instance();
+        rec.enable();
+        if (!rec.set_dump_path(path)) std::_Exit(3);
+        support::install_crash_handler(
+            [] { FlightRecorder::instance().dump_signal_safe(); });
+        FrScope wedged("crash.wedged_solve");
+        fr_instant("crash.last_words");
+        std::abort();
+      },
+      "");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler left no dump at " << path;
+  bool saw_open_span = false;
+  bool saw_instant = false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    const std::string& name = doc->find("name")->as_string();
+    if (name == "crash.wedged_solve" &&
+        doc->find("ph")->as_string() == "B") {
+      saw_open_span = true;  // the still-open span at crash time
+    }
+    if (name == "crash.last_words") saw_instant = true;
+  }
+  EXPECT_TRUE(saw_open_span);
+  EXPECT_TRUE(saw_instant);
+}
+#endif  // !MLSI_TSAN
+
 TEST_F(ObsTest, DisabledPathDoesNotAllocate) {
   // Warm up thread-locals and the lazy monotonic epoch first.
   support::thread_ordinal();
@@ -293,7 +503,9 @@ TEST_F(ObsTest, DisabledPathDoesNotAllocate) {
   const long before = g_allocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 1000; ++i) {
     TraceSpan span("hot.site");
+    FrScope fr("hot.fr_site");
     trace_instant("hot.marker");
+    fr_instant("hot.fr_marker");
     if (metrics_enabled()) {
       metrics().counter("never").add();
     }

@@ -6,14 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cases/artificial.hpp"
+#include "obs/flight_rec.hpp"
 #include "io/case_io.hpp"
 #include "serve/cache.hpp"
 #include "serve/canonical.hpp"
@@ -372,6 +375,85 @@ TEST(ServerTest, ConcurrentIdenticalRequestsCoalesce) {
   EXPECT_EQ(c.hits + c.coalesced, kClients - 1);
 }
 
+// Request-scoped tracing across coalescing: every response carries a
+// per-stage timing section, and a coalesced follower links to — and
+// reports the solve time of — its leader's flight.
+TEST(ServerTest, CoalescedFollowerReportsLeaderTiming) {
+  Server server(quiet_options());
+  constexpr int kClients = 8;
+  std::vector<ServeResponse> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &responses, c] {
+      ServeRequest req;
+      req.id = "r" + std::to_string(c);
+      req.spec = demo_spec();
+      responses[static_cast<std::size_t>(c)] = server.handle(req);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ServeResponse* leader = nullptr;
+  std::vector<long> seqs;
+  for (const ServeResponse& resp : responses) {
+    ASSERT_EQ(resp.outcome, ServeOutcome::kOk) << resp.error;
+    EXPECT_GT(resp.timing.seq, 0);
+    EXPECT_GE(resp.timing.total_us, 0.0);
+    seqs.push_back(resp.timing.seq);
+    if (!resp.cached && !resp.coalesced) {
+      ASSERT_EQ(leader, nullptr) << "one solve, one leader";
+      leader = &resp;
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end())
+      << "request sequence numbers must be unique";
+
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->timing.leader_seq, leader->timing.seq);
+  EXPECT_GT(leader->timing.solve_us, 0.0);
+  for (const ServeResponse& resp : responses) {
+    if (!resp.coalesced) continue;
+    // Followers piggyback on the leader's flight: same solve, same
+    // queue-wait facts, linked by the leader's sequence number.
+    EXPECT_EQ(resp.timing.leader_seq, leader->timing.seq);
+    EXPECT_DOUBLE_EQ(resp.timing.solve_us, leader->timing.solve_us);
+  }
+}
+
+TEST(ServerTest, StatsControlCommandAnswersWithLiveCounters) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+  ASSERT_EQ(server.handle(req).outcome, ServeOutcome::kOk);
+  req.id = "r2";
+  ASSERT_EQ(server.handle(req).outcome, ServeOutcome::kOk);
+
+  const ServeResponse resp =
+      server.handle_line("{\"id\":\"s1\",\"cmd\":\"stats\"}");
+  ASSERT_EQ(resp.outcome, ServeOutcome::kOk) << resp.error;
+  const json::Value doc = response_to_json(resp);
+  EXPECT_EQ(doc.get_string("id", ""), "s1");
+  const json::Value* stats = doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->get_number("requests", 0), 2.0);
+  EXPECT_EQ(stats->get_number("hits", 0), 1.0);
+  EXPECT_EQ(stats->get_number("solves", 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats->get_number("hit_rate", 0), 0.5);
+  EXPECT_GE(stats->get_number("uptime_s", -1), 0.0);
+  EXPECT_EQ(stats->get_number("queue_depth", -1), 0.0);
+  EXPECT_EQ(stats->get_number("in_flight_solves", -1), 0.0);
+  // A stats probe is a control command, not a request: the serving
+  // counters must not move.
+  EXPECT_EQ(server.counters().requests, 2);
+
+  const ServeResponse bad =
+      server.handle_line("{\"id\":\"s2\",\"cmd\":\"selfdestruct\"}");
+  EXPECT_EQ(bad.outcome, ServeOutcome::kError);
+  EXPECT_FALSE(bad.error.empty());
+}
+
 TEST(ServerTest, FullQueueRejectsInsteadOfBuffering) {
   ServeOptions options;
   options.jobs = 1;
@@ -417,6 +499,42 @@ TEST(ServerTest, ExpiredDeadlineIsRejectedAtDequeue) {
   EXPECT_EQ(resp.outcome, ServeOutcome::kRejected);
   EXPECT_EQ(server.counters().rejected_deadline, 1);
   EXPECT_EQ(server.counters().solves, 0);
+}
+
+// A deadline-blown request is exactly the "wedged service" evidence the
+// flight recorder exists for: when the recorder is armed with a dump
+// path, the rejection must leave a JSONL trail behind.
+TEST(ServerTest, DeadlineBlownRequestDumpsFlightRecorder) {
+  const std::string path =
+      ::testing::TempDir() + "serve_deadline_flight.jsonl";
+  std::remove(path.c_str());
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.enable();
+  ASSERT_TRUE(rec.set_dump_path(path));
+
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = demo_spec();
+  req.time_limit_s = 1e-9;
+  EXPECT_EQ(server.handle(req).outcome, ServeOutcome::kRejected);
+  rec.disable();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "deadline-blown request left no dump at " << path;
+  bool saw_handle = false;
+  std::size_t records = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ++records;
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    if (doc->find("name")->as_string() == "serve.handle") saw_handle = true;
+  }
+  EXPECT_GT(records, 0u);
+  EXPECT_TRUE(saw_handle) << "dump should show the request being handled";
+  rec.reset();
+  std::remove(path.c_str());
 }
 
 TEST(ServerTest, InvalidSpecIsAnError) {

@@ -1,0 +1,259 @@
+// mlsi_top — live terminal monitor for a running mlsi_serve daemon.
+//
+// Polls the daemon's {"cmd":"stats"} control endpoint over its Unix socket
+// and renders throughput (req/s), cache hit rate, queue depth/wait,
+// in-flight solves and per-stage latency percentiles (p50/p95/p99 from the
+// serve.stage.* histogram snapshots). Nothing here restarts or perturbs
+// the daemon: a stats request is answered from atomics and one registry
+// mutex.
+//
+// Usage:
+//   mlsi_top --socket /tmp/mlsi.sock                 # refresh every 2 s
+//   mlsi_top --socket S --once --json                # one machine-readable
+//                                                    # sample (CI/scripts)
+//   mlsi_top --socket S --metrics-out metrics.json   # save the snapshot —
+//                                                    # obs_check-compatible
+//   mlsi_top --socket S --send requests.jsonl        # drive request lines
+//                                                    # through the socket
+//
+// Options:
+//   --socket <path>      daemon Unix socket (required)
+//   --interval <s>       poll period in interactive mode (default 2)
+//   --count <n>          stop after n polls (default 0 = forever)
+//   --once               single poll, plain text unless --json
+//   --json               emit {"stats","derived","metrics"} JSON per poll
+//   --metrics-out <f>    also write the latest metrics snapshot to <f>
+//   --send <f>           send each JSONL line of <f> as a request, print
+//                        the responses, exit (no stats polling)
+//
+// Exit codes: 0 ok, 1 usage/connection error, 2 malformed daemon reply.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "support/argparse.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mlsi;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket F [--interval S] [--count N] [--once]\n"
+               "       [--json] [--metrics-out F] [--send F]\n",
+               argv0);
+  return 1;
+}
+
+double num(const json::Value* v, double fallback = 0.0) {
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+/// One stats poll: {"cmd":"stats"} in, parsed response out.
+Result<json::Value> poll_stats(const std::string& socket_path, int n) {
+  auto client = serve::SocketClient::connect(socket_path);
+  if (!client.ok()) return client.status();
+  if (Status s = client->send_line(
+          cat("{\"id\":\"top", n, "\",\"cmd\":\"stats\"}"));
+      !s.ok()) {
+    return s;
+  }
+  auto line = client->recv_line();
+  if (!line.ok()) return line.status();
+  return json::parse(*line);
+}
+
+/// Pulls "derived" scalars + per-stage percentiles out of one reply.
+json::Value derive(const json::Value& reply, double prev_requests,
+                   double prev_uptime) {
+  json::Object derived;
+  const json::Value* stats = reply.find("stats");
+  const double requests = num(stats != nullptr ? stats->find("requests")
+                                               : nullptr);
+  const double uptime = num(stats != nullptr ? stats->find("uptime_s")
+                                             : nullptr);
+  // Interval rate when we have a previous sample, lifetime rate otherwise.
+  double rps = uptime > 0 ? requests / uptime : 0.0;
+  if (prev_uptime > 0 && uptime > prev_uptime) {
+    rps = (requests - prev_requests) / (uptime - prev_uptime);
+  }
+  derived["rps"] = json::Value{rps};
+  derived["hit_rate"] =
+      json::Value{num(stats != nullptr ? stats->find("hit_rate") : nullptr)};
+
+  json::Object stages;
+  if (const json::Value* metrics = reply.find("metrics");
+      metrics != nullptr) {
+    if (const json::Value* histograms = metrics->find("histograms");
+        histograms != nullptr && histograms->is_object()) {
+      for (const auto& [name, h] : histograms->as_object()) {
+        if (name.rfind("serve.stage.", 0) != 0) continue;
+        json::Object stage;
+        stage["count"] = json::Value{num(h.find("count"))};
+        if (const json::Value* q = h.find("quantiles"); q != nullptr) {
+          stage["p50"] = json::Value{num(q->find("p50"))};
+          stage["p95"] = json::Value{num(q->find("p95"))};
+          stage["p99"] = json::Value{num(q->find("p99"))};
+        }
+        stages[name.substr(std::string("serve.stage.").size())] =
+            json::Value{std::move(stage)};
+      }
+    }
+  }
+  derived["stages"] = json::Value{std::move(stages)};
+  return json::Value{std::move(derived)};
+}
+
+void render_text(const json::Value& reply, const json::Value& derived,
+                 bool clear) {
+  const json::Value* stats = reply.find("stats");
+  if (stats == nullptr) return;
+  if (clear) std::printf("\033[H\033[2J");
+  std::printf("mlsi_serve @ uptime %.1fs  (version %s)\n",
+              num(stats->find("uptime_s")),
+              stats->find("code_version") != nullptr &&
+                      stats->find("code_version")->is_string()
+                  ? stats->find("code_version")->as_string().c_str()
+                  : "?");
+  std::printf(
+      "  req/s %8.1f   requests %8.0f   hit rate %5.1f%%   coalesced %.0f\n",
+      num(derived.find("rps")), num(stats->find("requests")),
+      num(derived.find("hit_rate")) * 100.0, num(stats->find("coalesced")));
+  std::printf(
+      "  queue %3.0f/%-3.0f   in-flight %3.0f   solves %6.0f   rejected %.0f "
+      "(+%.0f deadline)   timeouts %.0f\n",
+      num(stats->find("queue_depth")), num(stats->find("queue_capacity")),
+      num(stats->find("in_flight_solves")), num(stats->find("solves")),
+      num(stats->find("rejected_queue")), num(stats->find("rejected_deadline")),
+      num(stats->find("timeouts")));
+  std::printf("  cache %5.0f/%-6.0f entries   evictions %.0f\n",
+              num(stats->find("cache_entries")),
+              num(stats->find("cache_capacity")),
+              num(stats->find("cache_evictions")));
+  const json::Value* stages = derived.find("stages");
+  if (stages != nullptr && stages->is_object() &&
+      !stages->as_object().empty()) {
+    std::printf("  %-16s %10s %12s %12s %12s\n", "stage", "count", "p50_us",
+                "p95_us", "p99_us");
+    for (const auto& [name, s] : stages->as_object()) {
+      std::printf("  %-16s %10.0f %12.1f %12.1f %12.1f\n", name.c_str(),
+                  num(s.find("count")), num(s.find("p50")), num(s.find("p95")),
+                  num(s.find("p99")));
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// --send mode: a minimal JSONL load driver over the socket.
+int run_send(const std::string& socket_path, const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  auto client = serve::SocketClient::connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().to_string().c_str());
+    return 1;
+  }
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    if (Status s = client->send_line(line); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    auto resp = client->recv_line();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "error: %s\n", resp.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", resp->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(argc, argv);
+  const std::string socket_path = args.option("--socket").value_or("");
+  const double interval_s = args.number("--interval", 2.0);
+  const long count = static_cast<long>(args.number("--count", 0));
+  const bool once = args.flag("--once");
+  const bool as_json = args.flag("--json");
+  const std::string metrics_out = args.option("--metrics-out").value_or("");
+  const std::string send_file = args.option("--send").value_or("");
+  if (const Status parsed = args.finish(0); !parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.to_string().c_str());
+    return usage(argv[0]);
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  if (!send_file.empty()) return run_send(socket_path, send_file);
+
+  double prev_requests = 0.0;
+  double prev_uptime = 0.0;
+  const long total = once ? 1 : count;
+  for (long n = 0; total == 0 || n < total; ++n) {
+    if (n > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+    auto reply = poll_stats(socket_path, static_cast<int>(n));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   reply.status().to_string().c_str());
+      return 1;
+    }
+    const json::Value* status = reply->find("status");
+    if (status == nullptr || !status->is_string() ||
+        status->as_string() != "ok" || reply->find("stats") == nullptr) {
+      std::fprintf(stderr, "error: malformed stats reply: %s\n",
+                   reply->dump().c_str());
+      return 2;
+    }
+    const json::Value derived =
+        derive(*reply, prev_requests, prev_uptime);
+    const json::Value* stats = reply->find("stats");
+    prev_requests = num(stats->find("requests"));
+    prev_uptime = num(stats->find("uptime_s"));
+
+    if (!metrics_out.empty()) {
+      if (const json::Value* metrics = reply->find("metrics");
+          metrics != nullptr) {
+        if (Status s = json::write_file(metrics_out, *metrics); !s.ok()) {
+          std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+          return 1;
+        }
+      } else {
+        std::fprintf(stderr, "error: stats reply carries no metrics\n");
+        return 2;
+      }
+    }
+
+    if (as_json) {
+      json::Object doc;
+      doc["stats"] = *reply->find("stats");
+      doc["derived"] = derived;
+      if (const json::Value* metrics = reply->find("metrics");
+          metrics != nullptr) {
+        doc["metrics"] = *metrics;
+      }
+      std::printf("%s\n", json::Value{std::move(doc)}.dump().c_str());
+      std::fflush(stdout);
+    } else {
+      render_text(*reply, derived, /*clear=*/!once && count == 0);
+    }
+  }
+  return 0;
+}
