@@ -20,7 +20,7 @@ cmake -B build -S . >/dev/null
 if [ "$#" -gt 0 ]; then
     BENCHES="$*"
 else
-    BENCHES="table_4_1"
+    BENCHES="table_4_1 cp_unfixed"
 fi
 
 for name in $BENCHES; do

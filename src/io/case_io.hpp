@@ -44,8 +44,9 @@ Status save_spec(const std::string& path, const synth::ProblemSpec& spec);
 /// obs::Metrics snapshot) when metrics collection is enabled for the run;
 /// v3 adds the MILP cutting-plane counters "cuts_generated",
 /// "cuts_applied" and "cuts_dropped" (additive — v2 consumers that ignore
-/// unknown keys keep working).
-inline constexpr int kResultSchemaVersion = 3;
+/// unknown keys keep working); v4 adds the learning-CP counters
+/// "nogoods_recorded", "nogood_hits" and "restarts" (additive likewise).
+inline constexpr int kResultSchemaVersion = 4;
 
 /// Serializes a synthesis result (for EXPERIMENTS.md-style records): the
 /// schedule, binding, per-flow paths by segment names, lengths, valves and

@@ -109,6 +109,7 @@ Result<std::vector<int>> to_int_vector(const Value* v, std::string_view what) {
 
 Value cached_to_json(const CachedResult& cached) {
   Object o;
+  if (cached.infeasible) o["infeasible"] = Value{true};
   o["binding"] = int_array(cached.binding);
   Array flows;
   for (const auto& [set, path] : cached.flows) {
@@ -140,6 +141,11 @@ Value cached_to_json(const CachedResult& cached) {
       Value{static_cast<double>(cached.stats.cuts_generated)};
   stats["cuts_applied"] = Value{static_cast<double>(cached.stats.cuts_applied)};
   stats["cuts_dropped"] = Value{static_cast<double>(cached.stats.cuts_dropped)};
+  stats["nogoods_recorded"] =
+      Value{static_cast<double>(cached.stats.nogoods_recorded)};
+  stats["nogood_hits"] =
+      Value{static_cast<double>(cached.stats.nogood_hits)};
+  stats["restarts"] = Value{static_cast<double>(cached.stats.restarts)};
   o["stats"] = Value{std::move(stats)};
   return Value{std::move(o)};
 }
@@ -149,6 +155,7 @@ Result<CachedResult> cached_from_json(const Value& doc) {
     return Status::InvalidArgument("cached result must be an object");
   }
   CachedResult c;
+  c.infeasible = doc.get_bool("infeasible", false);
   auto binding = to_int_vector(doc.find("binding"), "binding");
   if (!binding.ok()) return binding.status();
   c.binding = std::move(*binding);
@@ -199,6 +206,11 @@ Result<CachedResult> cached_from_json(const Value& doc) {
         static_cast<long>(stats->get_number("cuts_applied", 0.0));
     c.stats.cuts_dropped =
         static_cast<long>(stats->get_number("cuts_dropped", 0.0));
+    c.stats.nogoods_recorded =
+        static_cast<long>(stats->get_number("nogoods_recorded", 0.0));
+    c.stats.nogood_hits =
+        static_cast<long>(stats->get_number("nogood_hits", 0.0));
+    c.stats.restarts = static_cast<long>(stats->get_number("restarts", 0.0));
   }
   return c;
 }
@@ -245,8 +257,25 @@ void ResultCache::insert(const CacheKey& key, CachedResult value) {
   shard.index[key.hash] = shard.lru.begin();
   ++shard.insertions;
   while (shard.lru.size() > shard_capacity_) {
-    shard.index.erase(shard.lru.back().key.hash);
-    shard.lru.pop_back();
+    // Cost-aware eviction: among the last few LRU entries, drop the one
+    // whose original solve was cheapest to recompute; ties (all-zero costs
+    // included) keep strict LRU order, back-most first.
+    constexpr int kEvictionWindow = 8;
+    auto victim = std::prev(shard.lru.end());
+    auto it = victim;
+    for (int scanned = 1;
+         scanned < kEvictionWindow && it != shard.lru.begin(); ++scanned) {
+      --it;
+      // The head is the entry just inserted (or just refreshed) — it must
+      // never be the victim of its own insertion.
+      if (it == shard.lru.begin()) break;
+      if (it->value->stats.runtime_s <
+          victim->value->stats.runtime_s - 1e-12) {
+        victim = it;
+      }
+    }
+    shard.index.erase(victim->key.hash);
+    shard.lru.erase(victim);
     ++shard.evictions;
   }
 }

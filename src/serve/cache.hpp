@@ -44,8 +44,16 @@
 
 namespace mlsi::serve {
 
-/// A proven-optimal synthesis answer in canonical coordinates.
+/// A proven synthesis answer in canonical coordinates: either a
+/// proven-optimal solution or (infeasible == true) a proof that no
+/// contamination-free solution exists for the canonical problem. Negative
+/// entries carry no solution payload — only stats (the cost of the original
+/// proof, which cost-aware eviction uses) — and are relabeling-invariant
+/// like positive ones: infeasibility of the canonical problem is
+/// infeasibility of every relabeled variant.
 struct CachedResult {
+  /// True for a cached infeasibility proof (no solution payload below).
+  bool infeasible = false;
   std::vector<int> binding;  ///< canonical module index -> pin vertex id
   /// canonical flow index -> (flow set, candidate path id). Path ids are
   /// stable: path enumeration is deterministic for a topology + options.
@@ -88,8 +96,11 @@ class ResultCache {
   /// match with different canonical text counts as a miss.
   [[nodiscard]] std::shared_ptr<const CachedResult> lookup(const CacheKey& key);
 
-  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail past
-  /// capacity.
+  /// Inserts (or refreshes) an entry. Past capacity the shard evicts
+  /// cost-aware: among the last few entries of the LRU list (the eviction
+  /// window) it drops the one whose original solve was cheapest
+  /// (stats.runtime_s), so an expensive proof survives a burst of cheap
+  /// ones; ties fall back to strict least-recently-used.
   void insert(const CacheKey& key, CachedResult value);
 
   struct Stats {

@@ -158,6 +158,7 @@ Server::Counters Server::counters() const {
   c.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
   c.persist_replayed =
       counters_.persist_replayed.load(std::memory_order_relaxed);
+  c.negative_hits = counters_.negative_hits.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -175,6 +176,7 @@ json::Value Server::stats_json() const {
   o["solves"] = Value{static_cast<double>(c.solves)};
   o["timeouts"] = Value{static_cast<double>(c.timeouts)};
   o["persist_replayed"] = Value{static_cast<double>(c.persist_replayed)};
+  o["negative_hits"] = Value{static_cast<double>(c.negative_hits)};
   o["queue_depth"] = Value{static_cast<double>(queue_.size())};
   o["queue_capacity"] = Value{static_cast<double>(queue_.capacity())};
   o["in_flight_solves"] =
@@ -279,6 +281,21 @@ ServeResponse Server::handle(const ServeRequest& request) {
   if (Status valid = request.spec.validate(); !valid.ok()) {
     return finish(ServeOutcome::kError, valid.to_string());
   }
+  // Replays a cached infeasibility proof. The canonical key strips names,
+  // so the message is regenerated from the REQUESTING spec (a relabeled
+  // duplicate must not see another request's case name).
+  const auto replay_negative = [&] {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+    count("serve.hits");
+    count("serve.cache.negative_hits");
+    resp.cached = true;
+    return finish(
+        ServeOutcome::kInfeasible,
+        cat("no contamination-free solution for '", request.spec.name,
+            "' with ", synth::to_string(request.spec.policy),
+            " binding (cached infeasibility proof)"));
+  };
   Timer t_stage;
   const CanonicalRequest canon =
       canonicalize(request.spec, options_.synth, options_.code_version);
@@ -290,6 +307,7 @@ ServeResponse Server::handle(const ServeRequest& request) {
   timing.cache_probe_us = elapsed_us(t_stage);
   observe_latency_us("serve.stage.cache_probe_us", timing.cache_probe_us);
   if (hit) {
+    if (hit->infeasible) return replay_negative();
     counters_.hits.fetch_add(1, std::memory_order_relaxed);
     count("serve.hits");
     return respond(request, canon, *hit, t0, /*cached=*/true,
@@ -307,6 +325,7 @@ ServeResponse Server::handle(const ServeRequest& request) {
       // A flight may have completed (and committed) between the lookup
       // above and taking this lock; re-check so we never re-solve.
       if (auto racy_hit = cache_.lookup(canon.key)) {
+        if (racy_hit->infeasible) return replay_negative();
         counters_.hits.fetch_add(1, std::memory_order_relaxed);
         count("serve.hits");
         return respond(request, canon, *racy_hit, t0, true, false, timing);
@@ -430,6 +449,24 @@ void Server::worker_loop() {
       ServeOutcome outcome = ServeOutcome::kError;
       if (solved.status().code() == StatusCode::kInfeasible) {
         outcome = ServeOutcome::kInfeasible;
+        // kInfeasible is a PROOF (budget truncation reports kTimeout), so
+        // it is as cacheable as a proven optimum: commit a negative entry
+        // so duplicates — relabeled ones included — replay the verdict
+        // instead of re-proving it. The proof's wall time is its
+        // recompute cost for cost-aware eviction.
+        if (cache_.capacity() > 0) {
+          CachedResult negative;
+          negative.infeasible = true;
+          negative.stats.engine = "negative";
+          negative.stats.proven_optimal = true;
+          negative.stats.runtime_s = flight->solve_us / 1e6;
+          cache_.insert(flight->canon.key, CachedResult(negative));
+          if (store_.is_open()) {
+            if (store_.append(flight->canon.key, negative).ok()) {
+              count("serve.persist_appended");
+            }
+          }
+        }
       } else if (solved.status().code() == StatusCode::kTimeout) {
         outcome = ServeOutcome::kTimeout;
         counters_.timeouts.fetch_add(1, std::memory_order_relaxed);

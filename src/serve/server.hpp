@@ -14,7 +14,10 @@
 ///  unboundedly, and a request whose deadline expired while queued is
 ///  rejected when a worker picks it up; 6. workers solve through the
 ///  normal Synthesizer pipeline and commit proven-optimal answers to the
-///  cache and the optional persistent store.
+///  cache and the optional persistent store. Proven infeasibility is
+///  committed too (a negative entry): a later identical — or relabeled —
+///  request replays the proof from the cache instead of re-running the
+///  solver to rediscover it. Budget-truncated timeouts are never cached.
 ///
 /// Transport adapters: run_stream() speaks JSONL over std::istream /
 /// std::ostream (the daemon's stdin mode and the replay tests);
@@ -182,6 +185,7 @@ class Server {
     long solves = 0;
     long timeouts = 0;  ///< solves that ran but blew their deadline
     long persist_replayed = 0;
+    long negative_hits = 0;  ///< hits that replayed an infeasibility proof
   };
   [[nodiscard]] Counters counters() const;
 
@@ -267,6 +271,7 @@ class Server {
     std::atomic<long> solves{0};
     std::atomic<long> timeouts{0};
     std::atomic<long> persist_replayed{0};
+    std::atomic<long> negative_hits{0};
   };
   AtomicCounters counters_;
 };

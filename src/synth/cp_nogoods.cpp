@@ -1,0 +1,209 @@
+#include "synth/cp_nogoods.hpp"
+
+#include <algorithm>
+
+namespace mlsi::synth {
+namespace {
+
+constexpr double kBoundEps = 1e-9;
+
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& keys) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t k : keys) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (k >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int NogoodStore::slot_of(std::uint64_t key) {
+  const auto [it, inserted] =
+      slot_ids_.emplace(key, static_cast<int>(watchers_.size()));
+  if (inserted) {
+    watchers_.emplace_back();
+    pending_.emplace_back();
+    assigned_.push_back(0);
+  }
+  return it->second;
+}
+
+int NogoodStore::find_slot(std::uint64_t key) const {
+  const auto it = slot_ids_.find(key);
+  return it == slot_ids_.end() ? -1 : it->second;
+}
+
+void NogoodStore::init_watches(int idx) {
+  Nogood& n = nogoods_[static_cast<std::size_t>(idx)];
+  const int size = static_cast<int>(n.lits.size());
+  // Watch the two deepest literals: the refuted frontier is unique per
+  // nogood, so watcher lists stay short where the shared shallow prefix
+  // literals would concentrate every nogood onto a handful of slots.
+  n.w0 = size - 1;
+  n.w1 = size >= 2 ? size - 2 : size - 1;
+  if (size == 1) {
+    // Unit from birth: permanently pending on its only literal.
+    pending_[static_cast<std::size_t>(n.slots[0])].push_back(idx);
+    return;
+  }
+  watchers_[static_cast<std::size_t>(n.slots[static_cast<std::size_t>(n.w0)])]
+      .push_back(idx);
+  watchers_[static_cast<std::size_t>(n.slots[static_cast<std::size_t>(n.w1)])]
+      .push_back(idx);
+}
+
+bool NogoodStore::add(const std::vector<NogoodLit>& lits, double bound) {
+  if (lits.empty() || static_cast<int>(lits.size()) > kMaxLits) return false;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lits.size());
+  for (const NogoodLit l : lits) keys.push_back(l.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const std::uint64_t h = fnv1a(keys);
+  // Keep the first recording: its bound is the largest (bounds only shrink
+  // over a solve), hence the strongest claim.
+  if (!seen_.insert(h).second) return false;
+
+  const int idx = static_cast<int>(nogoods_.size());
+  Nogood n;
+  n.slots.reserve(keys.size());
+  for (const std::uint64_t k : keys) n.slots.push_back(slot_of(k));
+  n.lits = std::move(keys);
+  n.bound = bound;
+  count_groups(n, +1);
+  nogoods_.push_back(std::move(n));
+  init_watches(idx);
+  ++recorded_;
+  return true;
+}
+
+void NogoodStore::count_groups(const Nogood& n, int delta) {
+  for (const std::uint64_t k : n.lits) {
+    const std::size_t g = lit_group(NogoodLit{k});
+    if (g >= group_counts_.size()) group_counts_.resize(g + 1, 0);
+    group_counts_[g] += delta;
+  }
+}
+
+void NogoodStore::rebuild_index() {
+  for (auto& w : watchers_) w.clear();
+  for (auto& p : pending_) p.clear();
+  seen_.clear();
+  std::fill(group_counts_.begin(), group_counts_.end(), 0);
+  for (int idx = 0; idx < static_cast<int>(nogoods_.size()); ++idx) {
+    init_watches(idx);
+    seen_.insert(fnv1a(nogoods_[static_cast<std::size_t>(idx)].lits));
+    count_groups(nogoods_[static_cast<std::size_t>(idx)], +1);
+  }
+}
+
+void NogoodStore::decay_and_trim() {
+  for (Nogood& n : nogoods_) n.activity *= decay_;
+  if (static_cast<int>(nogoods_.size()) <= limit_) return;
+  // Keep the `limit_` highest-activity nogoods, preserving insertion order
+  // among the survivors (deterministic across runs).
+  std::vector<int> order(nogoods_.size());
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return nogoods_[static_cast<std::size_t>(a)].activity >
+           nogoods_[static_cast<std::size_t>(b)].activity;
+  });
+  order.resize(static_cast<std::size_t>(limit_));
+  std::sort(order.begin(), order.end());
+  std::vector<Nogood> kept;
+  kept.reserve(order.size());
+  for (const int idx : order) {
+    kept.push_back(std::move(nogoods_[static_cast<std::size_t>(idx)]));
+  }
+  nogoods_ = std::move(kept);
+  rebuild_index();
+}
+
+void NogoodStore::on_assign(NogoodLit l) {
+  const int s = find_slot(l.key);
+  if (s < 0) return;  // literal in no nogood: nothing to maintain
+  assigned_[static_cast<std::size_t>(s)] = 1;
+  frame_mark_.push_back(static_cast<std::uint32_t>(unit_undo_.size()));
+  auto& ws = watchers_[static_cast<std::size_t>(s)];
+  std::size_t i = 0;
+  while (i < ws.size()) {
+    const int idx = ws[i];
+    Nogood& n = nogoods_[static_cast<std::size_t>(idx)];
+    const int wpos =
+        n.slots[static_cast<std::size_t>(n.w0)] == s ? n.w0 : n.w1;
+    const int opos = wpos == n.w0 ? n.w1 : n.w0;
+    // Relocate the watch to an unassigned literal, deepest first (the
+    // shallow prefix is usually on the trail already).
+    int repl = -1;
+    for (int p = static_cast<int>(n.lits.size()) - 1; p >= 0; --p) {
+      if (p == wpos || p == opos) continue;
+      if (assigned_[static_cast<std::size_t>(
+              n.slots[static_cast<std::size_t>(p)])] == 0) {
+        repl = p;
+        break;
+      }
+    }
+    if (repl >= 0) {
+      (wpos == n.w0 ? n.w0 : n.w1) = repl;
+      watchers_[static_cast<std::size_t>(
+                    n.slots[static_cast<std::size_t>(repl)])]
+          .push_back(idx);
+      ws[i] = ws.back();  // swap-remove; revisit the moved-in entry
+      ws.pop_back();
+    } else {
+      // Every literal but the other watch is on the trail: pending there,
+      // undone when this assignment pops.
+      const int pslot = n.slots[static_cast<std::size_t>(opos)];
+      unit_undo_.emplace_back(idx, pslot);
+      pending_[static_cast<std::size_t>(pslot)].push_back(idx);
+      ++i;
+    }
+  }
+}
+
+void NogoodStore::on_unassign(NogoodLit l) {
+  const int s = find_slot(l.key);
+  if (s < 0) return;
+  assigned_[static_cast<std::size_t>(s)] = 0;
+  const std::uint32_t mark = frame_mark_.back();
+  frame_mark_.pop_back();
+  while (unit_undo_.size() > mark) {
+    const auto [idx, pslot] = unit_undo_.back();
+    unit_undo_.pop_back();
+    auto& pl = pending_[static_cast<std::size_t>(pslot)];
+    // LIFO undo means the entry is at the back.
+    if (!pl.empty() && pl.back() == idx) {
+      pl.pop_back();
+    } else {
+      for (auto it = pl.rbegin(); it != pl.rend(); ++it) {
+        if (*it == idx) {
+          *it = pl.back();
+          pl.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool NogoodStore::blocked(NogoodLit l, double current_bound) {
+  if (nogoods_.empty()) return false;
+  const int s = find_slot(l.key);
+  if (s < 0) return false;
+  for (const int idx : pending_[static_cast<std::size_t>(s)]) {
+    Nogood& n = nogoods_[static_cast<std::size_t>(idx)];
+    if (current_bound <= n.bound + kBoundEps) {
+      n.activity += 1.0;
+      ++hits_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mlsi::synth

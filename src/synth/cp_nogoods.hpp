@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file cp_nogoods.hpp
+/// \brief Bounded, activity-decayed nogood store for the learning CP search.
+///
+/// A *nogood* is a set of search decisions (literals) D plus an objective
+/// bound b with the meaning "no complete assignment extending D has
+/// objective < b". The search records them when a Luby restart truncates a
+/// run (cp_search.cpp): every alternative refuted under the surviving trail
+/// prefix yields prefix + alternative as a nogood, with b = the bound the
+/// search was pruning against. Because the pruning bound only ever
+/// decreases (the incumbent and the portfolio's shared incumbent improve
+/// monotonically), a recorded nogood stays valid for the rest of the solve,
+/// including across restarts.
+///
+/// The store is consulted before each decision: a candidate literal l is
+/// *blocked* when some nogood's remaining literals are all on the current
+/// trail — extending with l provably cannot beat the incumbent, so the
+/// subtree is skipped (and the skip itself counts as a refutation,
+/// shortening future nogoods). Matching uses two watched literals per
+/// nogood (the SAT solvers' scheme): an assignment only visits the nogoods
+/// watching that literal, relocating the watch to another unassigned
+/// literal or, when none remains, parking the nogood on its single pending
+/// literal. blocked() then reads the pending list of the candidate — the
+/// search never scans nogoods whose prefix is not already on the trail.
+/// Watches start on the two deepest (largest-key) literals: those are the
+/// refuted frontier, unique per nogood, so watcher lists stay short where
+/// the shared shallow prefix would pile up.
+///
+/// The store is bounded (limit): low-activity nogoods are evicted between
+/// runs, where activity is bumped on record and on every successful block
+/// and decays geometrically per restart. Eviction only weakens pruning —
+/// it never affects soundness or completeness.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mlsi::synth {
+
+/// One search decision, packed into 64 bits: kind in the top bits, the two
+/// operands below (binding: module/pin, path: flow/path id, set: flow/set).
+struct NogoodLit {
+  std::uint64_t key = 0;
+  friend bool operator==(NogoodLit a, NogoodLit b) { return a.key == b.key; }
+};
+
+enum class LitKind : std::uint64_t { kBinding = 1, kPath = 2, kSet = 3 };
+
+[[nodiscard]] inline NogoodLit make_lit(LitKind kind, int a, int b) {
+  return NogoodLit{(static_cast<std::uint64_t>(kind) << 60) |
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                    << 28) |
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(b))};
+}
+[[nodiscard]] inline LitKind lit_kind(NogoodLit l) {
+  return static_cast<LitKind>(l.key >> 60);
+}
+[[nodiscard]] inline int lit_a(NogoodLit l) {
+  return static_cast<int>((l.key >> 28) & 0xFFFFFFF);
+}
+[[nodiscard]] inline int lit_b(NogoodLit l) {
+  return static_cast<int>(l.key & 0xFFFFFFF);
+}
+
+class NogoodStore {
+ public:
+  /// Nogoods longer than this are not worth storing: they describe a single
+  /// deep subtree and almost never re-trigger.
+  static constexpr int kMaxLits = 64;
+
+  NogoodStore(int limit, double decay) : limit_(limit), decay_(decay) {}
+
+  /// Records {lits, bound}. Returns false (and records nothing) for empty,
+  /// oversized or duplicate literal sets. Call only between runs (the trail
+  /// must be empty).
+  bool add(const std::vector<NogoodLit>& lits, double bound);
+
+  /// Decays every activity and evicts the lowest-activity nogoods past the
+  /// limit. Call only between runs (the trail must be empty).
+  void decay_and_trim();
+
+  // Trail maintenance during a run. Calls must nest LIFO: each on_unassign
+  // undoes the most recent on_assign (the DFS trail guarantees this).
+  void on_assign(NogoodLit l);
+  void on_unassign(NogoodLit l);
+
+  /// Inline coarse prefilter: false when no stored nogood contains any
+  /// literal of \p l's (kind, first-operand) group — the search's deep
+  /// flows almost never appear in nogoods, so the common case skips the
+  /// store without a function call or hash lookup. Only valid between
+  /// mutations (add/trim), i.e. stable for a whole run, which keeps
+  /// on_assign/on_unassign frame bookkeeping symmetric.
+  [[nodiscard]] bool may_contain(NogoodLit l) const {
+    const std::size_t g = lit_group(l);
+    return g < group_counts_.size() && group_counts_[g] != 0;
+  }
+
+  /// True when some nogood {T, l} with T entirely on the trail and bound
+  /// >= \p current_bound exists: no extension through l can reach an
+  /// objective below current_bound. Bumps the blocking nogood's activity.
+  [[nodiscard]] bool blocked(NogoodLit l, double current_bound);
+
+  [[nodiscard]] long recorded() const { return recorded_; }
+  [[nodiscard]] long hits() const { return hits_; }
+  [[nodiscard]] int size() const { return static_cast<int>(nogoods_.size()); }
+  [[nodiscard]] bool empty() const { return nogoods_.empty(); }
+
+ private:
+  /// Dense group index for the prefilter: three kinds interleaved by the
+  /// first operand (module or flow — small in practice).
+  [[nodiscard]] static std::size_t lit_group(NogoodLit l) {
+    return static_cast<std::size_t>(lit_a(l)) * 3 +
+           (static_cast<std::size_t>(l.key >> 60) - 1);
+  }
+
+  struct Nogood {
+    std::vector<std::uint64_t> lits;  ///< sorted keys (deepest last)
+    std::vector<int> slots;           ///< parallel dense slot per literal
+    double bound = 0.0;
+    double activity = 1.0;
+    int w0 = 0, w1 = 0;  ///< watched positions into lits (equal when unit)
+  };
+
+  /// Dense slot for a literal key, created on first use by add()/rebuild.
+  int slot_of(std::uint64_t key);
+  /// Slot lookup without creation; -1 when the literal is in no nogood.
+  [[nodiscard]] int find_slot(std::uint64_t key) const;
+  void init_watches(int idx);
+  void rebuild_index();
+  void count_groups(const Nogood& n, int delta);
+
+  int limit_;
+  double decay_;
+  std::vector<Nogood> nogoods_;
+  std::unordered_map<std::uint64_t, int> slot_ids_;
+  std::vector<std::vector<int>> watchers_;  ///< per slot: nogoods watching it
+  std::vector<char> assigned_;              ///< per slot: on the trail now
+  /// Per slot: nogoods whose every other literal is on the trail — the
+  /// only nogoods blocked() has to look at.
+  std::vector<std::vector<int>> pending_;
+  /// LIFO undo: pending_ entries created by each on_assign frame.
+  std::vector<std::pair<int, int>> unit_undo_;  ///< (nogood, slot)
+  std::vector<std::uint32_t> frame_mark_;       ///< unit_undo_ size per frame
+  std::unordered_set<std::uint64_t> seen_;      ///< FNV-1a over sorted keys
+  std::vector<int> group_counts_;  ///< per lit_group: #literal occurrences
+  long recorded_ = 0;
+  long hits_ = 0;
+};
+
+}  // namespace mlsi::synth

@@ -57,6 +57,26 @@ struct EngineParams {
   /// its deadline/stop are tightened to the engine's own before use.
   opt::MilpParams milp;
 
+  // --- learning CP search (cp engine; cp_search.hpp) ----------------------
+
+  /// Luby restarts + nogood recording for the fixed/unfixed CP dives. Off
+  /// runs a single chronological dive with no learning.
+  bool cp_restarts = true;
+  /// Binding symmetry breaking for the unfixed policy: lex-leader orbit
+  /// pruning from verified switch automorphisms, falling back to the seed's
+  /// quarter-turn restriction when no symmetry verifies. Off disables
+  /// binding symmetry breaking entirely (the ablation baseline of
+  /// bench/cp_unfixed) — the full binding space is enumerated.
+  bool cp_symmetry = true;
+  /// Node budget of the first Luby run; run r gets cp_restart_base*luby(r),
+  /// floored at half the nodes spent so far (completeness: a run big enough
+  /// to exhaust the remaining space always arrives).
+  long cp_restart_base = 2048;
+  /// Nogood store capacity; lowest-activity entries are evicted past it.
+  int cp_nogood_limit = 20000;
+  /// Geometric per-restart decay of nogood and value-ordering activities.
+  double cp_activity_decay = 0.95;
+
   // --- portfolio internals (set by solve_portfolio on its racers) ---------
 
   /// Cross-racer incumbent objective (an upper bound): racers prune against

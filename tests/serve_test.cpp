@@ -65,6 +65,25 @@ TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
   EXPECT_EQ(stats.insertions, 3);
 }
 
+TEST(ResultCacheTest, CostAwareEvictionKeepsExpensiveEntries) {
+  // Past capacity the evicted entry is the cheapest-to-recompute of the
+  // LRU tail, not blindly the least recently used: an expensive proof
+  // survives a burst of cheap ones.
+  ResultCache cache(2, 1);
+  CachedResult expensive = value_of(1.0);
+  expensive.stats.runtime_s = 120.0;
+  CachedResult cheap = value_of(2.0);
+  cheap.stats.runtime_s = 0.001;
+  cache.insert(key_of("expensive"), std::move(expensive));
+  cache.insert(key_of("cheap"), std::move(cheap));
+  cache.insert(key_of("next"), value_of(3.0));
+
+  EXPECT_EQ(cache.lookup(key_of("cheap")), nullptr);
+  EXPECT_NE(cache.lookup(key_of("expensive")), nullptr);
+  EXPECT_NE(cache.lookup(key_of("next")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
 TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
   ResultCache cache(2, 1);
   cache.insert(key_of("a"), value_of(1.0));
@@ -241,6 +260,23 @@ synth::ProblemSpec demo_spec_relabeled() {
   return spec;
 }
 
+/// Provably infeasible: the fixed binding pins the two conflicting flows
+/// onto crossing diagonals of the planar crossbar, so their paths must
+/// share a vertex — exactly what the contamination rule forbids. (With the
+/// unfixed policy there is no small infeasible instance: the binding
+/// freedom always finds disjoint routes.)
+synth::ProblemSpec infeasible_spec() {
+  synth::ProblemSpec spec;
+  spec.name = "serve-no-solution";
+  spec.pins_per_side = 2;
+  spec.modules = {"inA", "inB", "outA", "outB"};
+  spec.flows = {{0, 2}, {1, 3}};
+  spec.conflicts = {{0, 1}};
+  spec.policy = synth::BindingPolicy::kFixed;
+  spec.fixed_binding = {{0, 0}, {2, 4}, {1, 2}, {3, 6}};
+  return spec;
+}
+
 ServeOptions quiet_options() {
   ServeOptions options;
   options.jobs = 2;
@@ -313,6 +349,60 @@ TEST(ServerTest, RelabeledSpecHitsTheSameEntry) {
   ASSERT_EQ(hit.outcome, ServeOutcome::kOk) << hit.error;
   EXPECT_TRUE(hit.cached);
   EXPECT_EQ(server.counters().solves, 1);
+}
+
+TEST(ServerTest, InfeasibleVerdictIsCachedAndReplayed) {
+  Server server(quiet_options());
+  ServeRequest req;
+  req.id = "r1";
+  req.spec = infeasible_spec();
+
+  const ServeResponse fresh = server.handle(req);
+  ASSERT_EQ(fresh.outcome, ServeOutcome::kInfeasible) << fresh.error;
+  EXPECT_FALSE(fresh.cached);
+
+  // The duplicate replays the cached proof: no second solve.
+  req.id = "r2";
+  req.spec.name = "serve-no-solution-again";
+  const ServeResponse replay = server.handle(req);
+  ASSERT_EQ(replay.outcome, ServeOutcome::kInfeasible);
+  EXPECT_TRUE(replay.cached);
+  // The message names the REQUESTING spec, not the one that populated the
+  // cache (canonical keys strip names).
+  EXPECT_NE(replay.error.find("serve-no-solution-again"), std::string::npos)
+      << replay.error;
+
+  const Server::Counters c = server.counters();
+  EXPECT_EQ(c.solves, 1);
+  EXPECT_EQ(c.hits, 1);
+  EXPECT_EQ(c.negative_hits, 1);
+}
+
+TEST(ServerTest, NegativeEntriesPersistAcrossRestart) {
+  const std::string path =
+      ::testing::TempDir() + "serve_negative_store.jsonl";
+  std::remove(path.c_str());
+  ServeOptions options = quiet_options();
+  options.persist_path = path;
+  {
+    Server server(options);
+    ServeRequest req;
+    req.id = "r1";
+    req.spec = infeasible_spec();
+    ASSERT_EQ(server.handle(req).outcome, ServeOutcome::kInfeasible);
+  }
+  {
+    Server server(options);
+    ServeRequest req;
+    req.id = "r2";
+    req.spec = infeasible_spec();
+    const ServeResponse replay = server.handle(req);
+    EXPECT_EQ(replay.outcome, ServeOutcome::kInfeasible);
+    EXPECT_TRUE(replay.cached);
+    EXPECT_EQ(server.counters().solves, 0);
+    EXPECT_EQ(server.counters().negative_hits, 1);
+  }
+  std::remove(path.c_str());
 }
 
 // The rehydration path in full: solve A, cache it canonically, look it up
